@@ -1,0 +1,30 @@
+// Ablation: how the threshold k (not swept in the paper, which fixes k = 1)
+// moves the C1-vs-C2 trade-off at fixed N = 10.
+//
+// DESIGN.md calls out the design choice this probes: C1 pays O(n) hashing +
+// O(k) field interpolation (cheap), while C2 pays O(k) extra pairings at
+// decryption — so raising k should widen C2's receiver-side deficit while
+// leaving C1 nearly flat.
+#include "fig10_common.hpp"
+
+int main() {
+  using namespace sp::bench;
+  constexpr int kTrials = 2;
+  constexpr std::size_t kN = 10;
+
+  std::printf("# Ablation: threshold sweep at N=10 (paper fixes k=1)\n");
+  std::printf("# columns: k  C1_sharer_ms C1_recv_ms  C2_sharer_ms C2_recv_ms  "
+              "C2/C1_recv_ratio\n");
+  for (std::size_t k = 1; k <= 10; k += 3) {
+    const AvgCell c1 = run_avg(Scheme::kC1, kN, k, net::pc_profile(),
+                            "abl-k" + std::to_string(k) + "-c1", kTrials);
+    const AvgCell c2 = run_avg(Scheme::kC2, kN, k, net::pc_profile(),
+                            "abl-k" + std::to_string(k) + "-c2", kTrials);
+    std::printf("%2zu  %12.2f %10.2f  %12.2f %10.2f  %16.1f\n", k, c1.mean.sharer.total_ms(),
+                c1.mean.receiver.total_ms(), c2.mean.sharer.total_ms(), c2.mean.receiver.total_ms(),
+                c2.mean.receiver.total_ms() / std::max(c1.mean.receiver.total_ms(), 1e-9));
+  }
+  std::printf("# expected shape: C1 receiver ~flat in k; C2 receiver grows with k "
+              "(2 extra pairings per threshold unit)\n");
+  return 0;
+}

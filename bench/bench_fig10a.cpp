@@ -1,0 +1,31 @@
+// Figure 10(a): Sharer's overhead, Implementation 1 vs Implementation 2 on
+// PC. Paper findings to reproduce in shape:
+//   * I2 network delay is the worst component by far (four-file upload);
+//   * I2 local processing slightly higher than I1 and grows with N;
+//   * I1 combined delay extremely low and near-flat in N.
+#include "fig10_common.hpp"
+
+int main() {
+  using namespace sp::bench;
+  constexpr int kTrials = 3;
+  constexpr std::size_t kThreshold = 1;  // paper: k = 1
+
+  std::printf("# Fig 10(a): Sharer overhead, I1 vs I2 on PC\n");
+  std::printf("# workload: 100-char message, 20-char answers, 50-char questions, k=1\n");
+  std::printf("# columns: N  I1_local_ms I1_net_ms I1_total_ms  I2_local_ms I2_net_ms "
+              "I2_total_ms  I1_KB I2_KB  I1_sd I2_sd\n");
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const AvgCell c1 = run_avg(Scheme::kC1, n, kThreshold, net::pc_profile(),
+                            "fig10a-c1-n" + std::to_string(n), kTrials);
+    const AvgCell c2 = run_avg(Scheme::kC2, n, kThreshold, net::pc_profile(),
+                            "fig10a-c2-n" + std::to_string(n), kTrials);
+    std::printf("%2zu  %10.2f %9.2f %11.2f  %11.2f %9.2f %11.2f  %6.2f %6.2f  %5.1f %5.1f\n",
+                n, c1.mean.sharer.local_ms, c1.mean.sharer.network_ms,
+                c1.mean.sharer.total_ms(), c2.mean.sharer.local_ms, c2.mean.sharer.network_ms,
+                c2.mean.sharer.total_ms(), c1.mean.sharer.bytes / 1024.0,
+                c2.mean.sharer.bytes / 1024.0, c1.sharer_total_sd, c2.sharer_total_sd);
+  }
+  std::printf("# expected shape: I2 total >> I1 total; I2 dominated by network; "
+              "I2 local grows with N\n");
+  return 0;
+}

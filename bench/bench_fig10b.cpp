@@ -1,0 +1,30 @@
+// Figure 10(b): Receiver's overhead, Implementation 1 vs Implementation 2 on
+// PC. Paper findings to reproduce in shape:
+//   * I1 combined delay extremely low;
+//   * I2 receiver delay noticeably lower than I2's sharer side but still
+//     above I1 (KeyGen + pairing-heavy Decrypt + three-file download).
+#include "fig10_common.hpp"
+
+int main() {
+  using namespace sp::bench;
+  constexpr int kTrials = 3;
+  constexpr std::size_t kThreshold = 1;
+
+  std::printf("# Fig 10(b): Receiver overhead, I1 vs I2 on PC\n");
+  std::printf("# workload: 100-char message, 20-char answers, 50-char questions, k=1\n");
+  std::printf("# columns: N  I1_local_ms I1_net_ms I1_total_ms  I2_local_ms I2_net_ms "
+              "I2_total_ms  I1_KB I2_KB  I1_sd I2_sd\n");
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const AvgCell c1 = run_avg(Scheme::kC1, n, kThreshold, net::pc_profile(),
+                            "fig10b-c1-n" + std::to_string(n), kTrials);
+    const AvgCell c2 = run_avg(Scheme::kC2, n, kThreshold, net::pc_profile(),
+                            "fig10b-c2-n" + std::to_string(n), kTrials);
+    std::printf("%2zu  %10.2f %9.2f %11.2f  %11.2f %9.2f %11.2f  %6.2f %6.2f  %5.1f %5.1f\n",
+                n, c1.mean.receiver.local_ms, c1.mean.receiver.network_ms,
+                c1.mean.receiver.total_ms(), c2.mean.receiver.local_ms, c2.mean.receiver.network_ms,
+                c2.mean.receiver.total_ms(), c1.mean.receiver.bytes / 1024.0,
+                c2.mean.receiver.bytes / 1024.0, c1.receiver_total_sd, c2.receiver_total_sd);
+  }
+  std::printf("# expected shape: I1 tiny and flat; I2 above I1 but below I2's sharer side\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 10(c): Sharer's overhead for Implementation 1, PC vs Tablet.
+// Paper findings to reproduce in shape: I1 performs better on PC than on
+// the tablet, but overheads are insignificantly low on both devices.
+#include "fig10_common.hpp"
+
+int main() {
+  using namespace sp::bench;
+  constexpr int kTrials = 5;  // I1 is cheap; more trials smooth the jitter
+  constexpr std::size_t kThreshold = 1;
+
+  std::printf("# Fig 10(c): Sharer overhead for I1, PC vs Tablet\n");
+  std::printf("# workload: 100-char message, 20-char answers, 50-char questions, k=1\n");
+  std::printf("# columns: N  PC_local_ms PC_net_ms PC_total_ms  Tab_local_ms Tab_net_ms "
+              "Tab_total_ms\n");
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const AvgCell pc = run_avg(Scheme::kC1, n, kThreshold, net::pc_profile(),
+                            "fig10c-pc-n" + std::to_string(n), kTrials);
+    const AvgCell tab = run_avg(Scheme::kC1, n, kThreshold, net::tablet_profile(),
+                             "fig10c-tab-n" + std::to_string(n), kTrials);
+    std::printf("%2zu  %10.2f %9.2f %11.2f  %12.2f %10.2f %12.2f\n", n, pc.mean.sharer.local_ms,
+                pc.mean.sharer.network_ms, pc.mean.sharer.total_ms(), tab.mean.sharer.local_ms,
+                tab.mean.sharer.network_ms, tab.mean.sharer.total_ms());
+  }
+  std::printf("# expected shape: tablet local > PC local by a constant factor; "
+              "both totals small\n");
+  return 0;
+}

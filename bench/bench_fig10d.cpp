@@ -1,0 +1,26 @@
+// Figure 10(d): Receiver's overhead for Implementation 1, PC vs Tablet.
+// Paper findings to reproduce in shape: PC faster than tablet; overheads
+// insignificantly low on both.
+#include "fig10_common.hpp"
+
+int main() {
+  using namespace sp::bench;
+  constexpr int kTrials = 5;
+  constexpr std::size_t kThreshold = 1;
+
+  std::printf("# Fig 10(d): Receiver overhead for I1, PC vs Tablet\n");
+  std::printf("# workload: 100-char message, 20-char answers, 50-char questions, k=1\n");
+  std::printf("# columns: N  PC_local_ms PC_net_ms PC_total_ms  Tab_local_ms Tab_net_ms "
+              "Tab_total_ms\n");
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const AvgCell pc = run_avg(Scheme::kC1, n, kThreshold, net::pc_profile(),
+                            "fig10d-pc-n" + std::to_string(n), kTrials);
+    const AvgCell tab = run_avg(Scheme::kC1, n, kThreshold, net::tablet_profile(),
+                             "fig10d-tab-n" + std::to_string(n), kTrials);
+    std::printf("%2zu  %10.2f %9.2f %11.2f  %12.2f %10.2f %12.2f\n", n, pc.mean.receiver.local_ms,
+                pc.mean.receiver.network_ms, pc.mean.receiver.total_ms(), tab.mean.receiver.local_ms,
+                tab.mean.receiver.network_ms, tab.mean.receiver.total_ms());
+  }
+  std::printf("# expected shape: tablet local > PC local; both totals small\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks for the crypto substrate: the primitive costs that
+// compose into the Fig. 10 curves (AES, hashes, BigInt modular arithmetic,
+// curve ops, pairing).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha3.hpp"
+#include "ec/pairing.hpp"
+#include "ec/params.hpp"
+
+namespace {
+
+using namespace sp;
+
+void BM_Sha256(benchmark::State& state) {
+  crypto::Drbg rng("bm-sha256");
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha3_256(benchmark::State& state) {
+  crypto::Drbg rng("bm-sha3");
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha3_256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha3_256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  crypto::Drbg rng("bm-aes");
+  const auto key = rng.bytes(32);
+  const auto iv = rng.bytes(16);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_encrypt(key, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(100)->Arg(4096)->Arg(65536);
+
+void BM_SealOpen(benchmark::State& state) {
+  crypto::Drbg rng("bm-seal");
+  const auto key = rng.bytes(32);
+  const auto iv = rng.bytes(16);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto env = crypto::seal(key, iv, data);
+    benchmark::DoNotOptimize(crypto::open(key, env));
+  }
+}
+BENCHMARK(BM_SealOpen)->Arg(100)->Arg(65536);
+
+void BM_BigIntModPow512(benchmark::State& state) {
+  const auto& params = ec::preset_params(ec::ParamPreset::kFull);
+  crypto::Drbg rng("bm-modpow");
+  const auto base = crypto::BigInt::from_bytes(rng.bytes(60));
+  const auto exp = crypto::BigInt::from_bytes(rng.bytes(20));  // 160-bit exponent
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::mod_pow(base, exp, params.fp->p()));
+  }
+}
+BENCHMARK(BM_BigIntModPow512);
+
+void BM_ScalarMul(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  crypto::Drbg rng("bm-mul");
+  const auto g = curve.random_group_element(rng);
+  const auto k = crypto::BigInt::from_bytes(rng.bytes(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.mul(g, k));
+  }
+}
+BENCHMARK(BM_ScalarMul);
+
+void BM_HashToGroup(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  crypto::Drbg rng("bm-h2g");
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto input = rng.bytes(16);
+    input.push_back(static_cast<std::uint8_t>(counter++));
+    benchmark::DoNotOptimize(curve.hash_to_group(input));
+  }
+}
+BENCHMARK(BM_HashToGroup);
+
+void BM_TatePairing(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  const ec::Pairing pairing(curve);
+  crypto::Drbg rng("bm-pairing");
+  const auto g = curve.random_group_element(rng);
+  const auto h = curve.random_group_element(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing(g, h));
+  }
+}
+BENCHMARK(BM_TatePairing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

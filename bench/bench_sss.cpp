@@ -1,0 +1,62 @@
+// Shamir secret-sharing costs over the paper-scale field: split and
+// reconstruct as functions of (k, n) — Construction 1's crypto bill.
+#include <benchmark/benchmark.h>
+
+#include "ec/params.hpp"
+#include "sss/shamir.hpp"
+
+namespace {
+
+using namespace sp;
+
+const sss::Shamir& shamir() {
+  static const sss::Shamir s(ec::preset_params(ec::ParamPreset::kFull).fp);
+  return s;
+}
+
+void BM_ShamirSplit(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  crypto::Drbg rng("bm-split");
+  const crypto::BigInt secret = crypto::BigInt::from_bytes(rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir().split(secret, k, n, rng));
+  }
+}
+BENCHMARK(BM_ShamirSplit)
+    ->Args({1, 5})
+    ->Args({1, 10})
+    ->Args({3, 10})
+    ->Args({5, 10})
+    ->Args({10, 10})
+    ->Args({10, 20})
+    ->Args({20, 40});
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  crypto::Drbg rng("bm-recon");
+  const crypto::BigInt secret = crypto::BigInt::from_bytes(rng.bytes(32));
+  const auto shares = shamir().split(secret, k, k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir().reconstruct(shares));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_ShareBlindUnblind(benchmark::State& state) {
+  // The XOR blinding step (a_i ⊕ d_i) — essentially free next to hashing.
+  crypto::Drbg rng("bm-blind");
+  const crypto::BigInt secret = crypto::BigInt::from_bytes(rng.bytes(32));
+  const auto shares = shamir().split(secret, 2, 2, rng);
+  const auto wire = shamir().serialize(shares[0]);
+  const auto answer = rng.bytes(20);
+  for (auto _ : state) {
+    auto blinded = crypto::xor_cycle(wire, answer);
+    benchmark::DoNotOptimize(crypto::xor_cycle(blinded, answer));
+  }
+}
+BENCHMARK(BM_ShareBlindUnblind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Microblog broadcast — the paper's §I argument that directed OSNs with
+// minimal access control (Twitter) "benefit even more": the hyperlink is
+// public, every follower (and anyone else) can try the puzzle, and the
+// context is the ONLY thing standing between the object and the world.
+//
+// A band posts the address of a secret afterparty. Only people who were at
+// tonight's show know the context; the 50k other followers see the post but
+// can't open it — and no follower list was ever curated.
+#include <cstdio>
+
+#include "core/session.hpp"
+
+int main() {
+  using namespace sp::core;
+  using sp::crypto::to_bytes;
+
+  SessionConfig config;
+  config.pairing_preset = sp::ec::ParamPreset::kTest;
+  config.seed = "microblog";
+  Session session(config);
+
+  const auto band = session.register_user("the-band");
+  const auto fan_at_show = session.register_user("fan-at-show");
+  const auto fan_at_home = session.register_user("fan-at-home");
+  const auto scraper = session.register_user("data-scraper");
+  // Directed follows; nobody is "friends" with the band.
+  session.follow(fan_at_show, band);
+  session.follow(fan_at_home, band);
+
+  Context ctx;
+  ctx.add("Which song opened tonight's set?", "Static Hearts");
+  ctx.add("What color were the wristbands?", "orange");
+  ctx.add("What did the drummer throw into the crowd?", "a cowbell");
+
+  const auto secret = to_bytes("Afterparty: rooftop of the Hotel Marlowe, password 'cowbell'.");
+  const auto receipt = session.share_c1(band, secret, ctx, /*k=*/2, /*n=*/3,
+                                        sp::net::pc_profile(), sp::osn::Visibility::kPublic);
+  std::printf("band broadcast a public puzzle post (%s)\n\n", receipt.post_id.c_str());
+
+  // Followers see the post in their feeds; non-followers don't see it in a
+  // feed but can still reach a public hyperlink.
+  std::printf("fan_at_show feed entries: %zu\n", session.feed_of(fan_at_show).size());
+  std::printf("fan_at_home feed entries: %zu\n", session.feed_of(fan_at_home).size());
+  std::printf("scraper     feed entries: %zu\n\n", session.feed_of(scraper).size());
+
+  Knowledge at_show;
+  at_show.learn("Which song opened tonight's set?", "static hearts");
+  at_show.learn("What color were the wristbands?", "Orange");
+  const auto r1 = session.access(fan_at_show, receipt.post_id, at_show, sp::net::pc_profile());
+  std::printf("fan who was at the show:   %s\n",
+              r1.success() ? sp::crypto::to_string(*r1.object).c_str() : "denied");
+
+  Knowledge at_home;
+  at_home.learn("Which song opened tonight's set?", "the one from the radio?");
+  at_home.learn("What color were the wristbands?", "blue");
+  const auto r2 = session.access(fan_at_home, receipt.post_id, at_home, sp::net::pc_profile());
+  std::printf("fan who stayed home:       %s\n", r2.success() ? "GOT IN?!" : "denied");
+
+  // The scraper isn't even a follower — the link is public, so it can try.
+  const auto r3 = session.access(scraper, receipt.post_id, Knowledge{}, sp::net::pc_profile());
+  std::printf("scraper with no context:   %s\n", r3.success() ? "GOT IN?!" : "denied");
+
+  return (r1.success() && !r2.granted && !r3.granted) ? 0 : 1;
+}

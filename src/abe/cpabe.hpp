@@ -1,0 +1,124 @@
+// Ciphertext-Policy Attribute-Based Encryption (Bethencourt–Sahai–Waters,
+// IEEE S&P 2007) — the scheme behind the paper's Construction 2, rebuilt
+// from scratch on our own pairing (paper §III-C).
+//
+//   Setup      → PK = (g, h = g^β, f = g^(1/β), e(g,g)^α),  MK = (β, g^α)
+//   Encrypt    → CT = (τ, C̃ = M·e(g,g)^(αs), C = h^s,
+//                      ∀ leaf y: C_y = g^(q_y(0)), C_y' = H(att(y))^(q_y(0)))
+//   KeyGen(S)  → SK = (D = g^((α+r)/β), ∀ j ∈ S: D_j = g^r·H(j)^(r_j),
+//                      D_j' = g^(r_j))
+//   Decrypt    → DecryptNode recursion + Lagrange combination at gates,
+//                then M = C̃ / (e(C, D) / e(g,g)^(rs)).
+//
+// Used as a KEM: Encrypt draws a random target-group element M and returns
+// SHA-256(M) as the data-encapsulation key; Decrypt re-derives it. The
+// paper's Perturb/Reconstruct tweak operates on the access tree embedded in
+// the ciphertext (swap_policy), hiding answers from SP and DH.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "abe/access_tree.hpp"
+#include "ec/pairing.hpp"
+#include "ec/params.hpp"
+
+namespace sp::abe {
+
+using crypto::BigInt;
+using field::Fp2;
+
+struct PublicKey {
+  ec::Point g;
+  ec::Point h;        ///< g^β
+  ec::Point f;        ///< g^(1/β) (delegation; carried for fidelity to BSW07)
+  Fp2 e_gg_alpha;     ///< e(g,g)^α
+};
+
+struct MasterKey {
+  BigInt beta;
+  ec::Point g_alpha;  ///< g^α
+};
+
+struct PrivateKey {
+  ec::Point d;  ///< g^((α+r)/β)
+  struct AttrKey {
+    ec::Point dj;        ///< g^r · H(j)^(r_j)
+    ec::Point dj_prime;  ///< g^(r_j)
+  };
+  std::map<std::string, AttrKey> attrs;  ///< keyed by canonical attribute
+};
+
+struct Ciphertext {
+  AccessTree policy;  ///< τ (or τ' after swap_policy(perturb))
+  Fp2 c_tilde;        ///< M · e(g,g)^(αs)
+  ec::Point c;        ///< h^s
+  struct LeafCt {
+    ec::Point cy;        ///< g^(q_y(0))
+    ec::Point cy_prime;  ///< H(att(y))^(q_y(0))
+  };
+  std::map<std::size_t, LeafCt> leaves;  ///< keyed by DFS leaf node id
+};
+
+class CpAbe {
+ public:
+  explicit CpAbe(const ec::Curve& curve);
+
+  /// Setup: samples α, β and produces the key pair. (The paper's sharer
+  /// runs cpabe-setup per shared object.)
+  [[nodiscard]] std::pair<PublicKey, MasterKey> setup(crypto::Drbg& rng) const;
+
+  /// KeyGen(MK, S): private key for canonical attribute strings S.
+  [[nodiscard]] PrivateKey keygen(const MasterKey& mk, const std::vector<std::string>& attributes,
+                                  crypto::Drbg& rng) const;
+
+  /// Encrypt-as-KEM under policy τ (leaves must be unperturbed). Returns the
+  /// ciphertext and the 32-byte DEM key SHA-256(M).
+  [[nodiscard]] std::pair<Ciphertext, Bytes> encrypt_key(const PublicKey& pk,
+                                                         const AccessTree& policy,
+                                                         crypto::Drbg& rng) const;
+
+  /// Decrypt: re-derives the DEM key, or nullopt when the key's attributes
+  /// do not satisfy the ciphertext policy. A policy that *structurally*
+  /// matches but was built from different answers yields a wrong key (the
+  /// authenticated DEM layer then rejects) — mirroring the paper's flow.
+  [[nodiscard]] std::optional<Bytes> decrypt_key(const PublicKey& pk, const PrivateKey& sk,
+                                                 const Ciphertext& ct) const;
+
+  /// Paper §V-B Perturb/Reconstruct: replace the embedded access tree
+  /// (crypto components are untouched; only the metadata tree changes).
+  static Ciphertext swap_policy(Ciphertext ct, AccessTree new_policy);
+
+  /// Wire encodings — the bench harness charges these byte counts to the
+  /// network model (the paper measured ~600 KB of CP-ABE files per share).
+  [[nodiscard]] Bytes serialize(const PublicKey& pk) const;
+  [[nodiscard]] Bytes serialize(const MasterKey& mk) const;
+  [[nodiscard]] Bytes serialize(const PrivateKey& sk) const;
+  [[nodiscard]] Bytes serialize(const Ciphertext& ct) const;
+  [[nodiscard]] PublicKey deserialize_public_key(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] MasterKey deserialize_master_key(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] PrivateKey deserialize_private_key(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] Ciphertext deserialize_ciphertext(std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] const ec::Curve& curve() const { return *curve_; }
+
+ private:
+  [[nodiscard]] BigInt rand_scalar(crypto::Drbg& rng) const;
+  [[nodiscard]] ec::Point hash_attr(const std::string& attribute) const;
+  /// The fixed public generator g (hash-to-group of a domain tag), cached.
+  [[nodiscard]] const ec::Point& generator() const;
+
+  /// Recursive share assignment for Encrypt.
+  void share_secret(const AccessTree::Node& node, const BigInt& value, std::size_t& next_id,
+                    Ciphertext& ct, crypto::Drbg& rng) const;
+  /// DecryptNode: e(g,g)^(r·q_x(0)) or nullopt.
+  [[nodiscard]] std::optional<Fp2> decrypt_node(const PrivateKey& sk, const Ciphertext& ct,
+                                                const AccessTree::Node& node,
+                                                std::size_t& next_id) const;
+
+  const ec::Curve* curve_;
+  ec::Pairing pairing_;
+  mutable std::optional<ec::Point> generator_;  // lazily cached
+};
+
+}  // namespace sp::abe

@@ -1,0 +1,85 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <stdexcept>
+
+namespace sp::core {
+
+Context::Context(std::vector<ContextPair> pairs) : pairs_(std::move(pairs)) {
+  for (const auto& p : pairs_) {
+    if (p.question.empty()) throw std::invalid_argument("Context: empty question");
+  }
+}
+
+void Context::add(std::string question, std::string answer) {
+  if (question.empty()) throw std::invalid_argument("Context: empty question");
+  pairs_.push_back(ContextPair{std::move(question), std::move(answer)});
+}
+
+std::optional<std::string> Context::answer_of(const std::string& question) const {
+  for (const auto& p : pairs_) {
+    if (p.question == question) return p.answer;
+  }
+  return std::nullopt;
+}
+
+std::string Context::normalize_answer(std::string_view answer) {
+  std::size_t begin = 0, end = answer.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(answer[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(answer[end - 1]))) --end;
+  std::string out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(answer[i]))));
+  }
+  return out;
+}
+
+void Knowledge::learn(std::string question, std::string answer) {
+  answers_[std::move(question)] = std::move(answer);
+}
+
+std::optional<std::string> Knowledge::recall(const std::string& question) const {
+  const auto it = answers_.find(question);
+  if (it == answers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Knowledge::correct_count(const Context& ctx) const {
+  std::size_t n = 0;
+  for (const auto& p : ctx.pairs()) {
+    const auto mine = recall(p.question);
+    if (mine && Context::normalize_answer(*mine) == Context::normalize_answer(p.answer)) ++n;
+  }
+  return n;
+}
+
+Knowledge Knowledge::partial(const Context& ctx, std::size_t correct, crypto::Drbg& rng) {
+  if (correct > ctx.size()) throw std::invalid_argument("Knowledge::partial: correct > N");
+  std::vector<std::size_t> order(ctx.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher–Yates with the seeded DRBG.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+  Knowledge k;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const auto& pair = ctx.pairs()[order[i]];
+    if (i < correct) {
+      k.learn(pair.question, pair.answer);
+    } else {
+      k.learn(pair.question, pair.answer + "-wrong-" + std::to_string(rng.uniform(1000)));
+    }
+  }
+  return k;
+}
+
+Knowledge Knowledge::full(const Context& ctx) {
+  Knowledge k;
+  for (const auto& p : ctx.pairs()) k.learn(p.question, p.answer);
+  return k;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,77 @@
+// Context model (paper §IV-A): the context C_O of a shared object O is a set
+// of N question–answer pairs {<q_1,a_1>, ..., <q_N,a_N>}; each question
+// defines a domain and its answer takes one value. A receiver "knows" the
+// context when she can answer at least ζ_O = k of the questions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sp::core {
+
+using crypto::Bytes;
+
+struct ContextPair {
+  std::string question;
+  std::string answer;
+
+  friend bool operator==(const ContextPair&, const ContextPair&) = default;
+};
+
+/// C_O: the full context a sharer attaches to an object.
+class Context {
+ public:
+  Context() = default;
+  explicit Context(std::vector<ContextPair> pairs);
+
+  [[nodiscard]] const std::vector<ContextPair>& pairs() const { return pairs_; }
+  [[nodiscard]] std::size_t size() const { return pairs_.size(); }
+  [[nodiscard]] bool empty() const { return pairs_.empty(); }
+  void add(std::string question, std::string answer);
+
+  /// Answer for a question, if present.
+  [[nodiscard]] std::optional<std::string> answer_of(const std::string& question) const;
+
+  /// Answers are normalized before hashing so "Pizza " and "pizza" match —
+  /// the paper's web forms implicitly did this; an exact-match deployment
+  /// would frustrate legitimate receivers. Lowercases ASCII and trims
+  /// surrounding whitespace.
+  static std::string normalize_answer(std::string_view answer);
+
+ private:
+  std::vector<ContextPair> pairs_;
+};
+
+/// A receiver's knowledge: what she would answer per question (possibly
+/// wrong, possibly missing). This is the R_O membership model — a user is in
+/// R_O iff her knowledge matches >= ζ_O of the context answers.
+class Knowledge {
+ public:
+  Knowledge() = default;
+  explicit Knowledge(std::map<std::string, std::string> answers) : answers_(std::move(answers)) {}
+
+  void learn(std::string question, std::string answer);
+  [[nodiscard]] std::optional<std::string> recall(const std::string& question) const;
+  [[nodiscard]] const std::map<std::string, std::string>& answers() const { return answers_; }
+
+  /// How many of `ctx`'s pairs this knowledge answers correctly (after
+  /// normalization).
+  [[nodiscard]] std::size_t correct_count(const Context& ctx) const;
+
+  /// Builds knowledge covering exactly `correct` randomly chosen pairs of
+  /// `ctx`, with every other question answered wrongly — the workload
+  /// generator for threshold experiments.
+  static Knowledge partial(const Context& ctx, std::size_t correct, crypto::Drbg& rng);
+  /// Full knowledge of a context.
+  static Knowledge full(const Context& ctx);
+
+ private:
+  std::map<std::string, std::string> answers_;
+};
+
+}  // namespace sp::core

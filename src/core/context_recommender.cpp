@@ -1,0 +1,50 @@
+#include "core/context_recommender.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sp::core {
+
+std::vector<Recommendation> ContextRecommender::recommend(const EventRecord& event) {
+  std::vector<Recommendation> out;
+  auto add = [&out](std::string q, std::string a, double guessability) {
+    if (a.empty()) return;
+    out.push_back(Recommendation{ContextPair{std::move(q), std::move(a)}, guessability});
+  };
+
+  // Guessability reflects how large the plausible answer domain is for an
+  // outsider: city (small domain) is weak, specific participants or
+  // activities (large domain, insider-only) are strong.
+  add("Which city was \"" + event.title + "\" in?", event.city, 0.8);
+  add("Which month was \"" + event.title + "\"?", event.month, 0.7);
+  add("Who hosted \"" + event.title + "\"?", event.host, 0.5);
+  add("Where exactly did \"" + event.title + "\" happen?", event.venue, 0.35);
+  add("What did we eat at \"" + event.title + "\"?", event.food, 0.3);
+  for (const std::string& activity : event.activities) {
+    add("What did we do at \"" + event.title + "\"? (one activity)", activity, 0.2);
+  }
+  if (!event.participants.empty()) {
+    add("Name one person who was at \"" + event.title + "\".", event.participants.front(), 0.25);
+    if (event.participants.size() > 1) {
+      add("Name another person who was at \"" + event.title + "\".", event.participants[1], 0.25);
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const Recommendation& a, const Recommendation& b) {
+    return a.guessability < b.guessability;
+  });
+  return out;
+}
+
+Context ContextRecommender::build_context(const EventRecord& event, std::size_t n) {
+  const auto recs = recommend(event);
+  if (recs.size() < n) {
+    throw std::invalid_argument("ContextRecommender: event yields only " +
+                                std::to_string(recs.size()) + " pairs, need " + std::to_string(n));
+  }
+  Context ctx;
+  for (std::size_t i = 0; i < n; ++i) ctx.add(recs[i].pair.question, recs[i].pair.answer);
+  return ctx;
+}
+
+}  // namespace sp::core

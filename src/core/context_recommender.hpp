@@ -1,0 +1,45 @@
+// Automated client-side context recommendation — one of the paper's listed
+// future-work features ("automated client-side context recommendations").
+//
+// Given a structured event record (what a mobile client knows about a
+// gathering: venue, time, participants, activities), suggest ready-made
+// question/answer pairs so sharers don't have to invent puzzles by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace sp::core {
+
+/// What a client device can auto-capture about an event.
+struct EventRecord {
+  std::string title;                      ///< e.g. "Sarah's birthday dinner"
+  std::string venue;                      ///< e.g. "Luigi's Trattoria"
+  std::string city;
+  std::string month;                      ///< coarse time ("june")
+  std::string host;
+  std::vector<std::string> participants;  ///< first names
+  std::vector<std::string> activities;    ///< e.g. "karaoke"
+  std::string food;                       ///< e.g. "lasagna"
+};
+
+struct Recommendation {
+  ContextPair pair;
+  /// Heuristic guessability score in [0,1]: higher = easier for outsiders
+  /// to guess (e.g. "which city?" is weaker than "who sang first?").
+  double guessability = 0.0;
+};
+
+class ContextRecommender {
+ public:
+  /// Suggests pairs from every populated field, weakest-guessability first.
+  [[nodiscard]] static std::vector<Recommendation> recommend(const EventRecord& event);
+
+  /// Picks the `n` hardest-to-guess recommendations as a Context; throws
+  /// std::invalid_argument when fewer than n are derivable.
+  [[nodiscard]] static Context build_context(const EventRecord& event, std::size_t n);
+};
+
+}  // namespace sp::core

@@ -1,0 +1,56 @@
+#include "core/picture_puzzle.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace sp::core {
+
+PictureQuestion::PictureQuestion(std::string prompt, std::vector<Bytes> candidates,
+                                 std::size_t correct_index)
+    : prompt_(std::move(prompt)), candidates_(std::move(candidates)),
+      correct_index_(correct_index) {
+  if (prompt_.empty()) throw std::invalid_argument("PictureQuestion: empty prompt");
+  if (candidates_.size() < 2) {
+    throw std::invalid_argument("PictureQuestion: need at least 2 candidate images");
+  }
+  if (correct_index_ >= candidates_.size()) {
+    throw std::invalid_argument("PictureQuestion: correct_index out of range");
+  }
+  std::set<std::string> seen;
+  for (const Bytes& img : candidates_) {
+    if (img.empty()) throw std::invalid_argument("PictureQuestion: empty image");
+    if (!seen.insert(answer_for_image(img)).second) {
+      throw std::invalid_argument("PictureQuestion: duplicate candidate image");
+    }
+  }
+}
+
+std::string PictureQuestion::answer_for_image(std::span<const std::uint8_t> image) {
+  return "img:" + crypto::to_hex(crypto::Sha256::hash(image));
+}
+
+ContextPair PictureQuestion::to_context_pair() const {
+  return ContextPair{prompt_, answer_for_image(candidates_[correct_index_])};
+}
+
+std::pair<std::string, std::string> PictureQuestion::choose(std::size_t candidate_index) const {
+  if (candidate_index >= candidates_.size()) {
+    throw std::invalid_argument("PictureQuestion::choose: index out of range");
+  }
+  return {prompt_, answer_for_image(candidates_[candidate_index])};
+}
+
+Context build_picture_context(const std::vector<PictureQuestion>& pictures,
+                              const std::vector<ContextPair>& text_pairs) {
+  Context ctx;
+  for (const PictureQuestion& pq : pictures) {
+    const ContextPair pair = pq.to_context_pair();
+    ctx.add(pair.question, pair.answer);
+  }
+  for (const ContextPair& pair : text_pairs) ctx.add(pair.question, pair.answer);
+  return ctx;
+}
+
+}  // namespace sp::core

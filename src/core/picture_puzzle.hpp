@@ -1,0 +1,54 @@
+// Picture-based puzzles — the paper's §VIII future-work feature ("support
+// for non-textual data, picture-based puzzles").
+//
+// A picture question shows the receiver a set of candidate images ("which of
+// these was the birthday cake?"); the answer is the image itself. We reduce
+// this to the existing string-answer machinery: the canonical answer is the
+// hex SHA-256 of the chosen image's bytes, so picture questions compose
+// freely with text questions inside one Context and work with both
+// constructions unchanged. Decoys travel with the puzzle (they're public —
+// like the questions); the correct image's hash is never distinguishable
+// from the decoys' hashes without solving the puzzle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace sp::core {
+
+/// One picture question: a prompt plus candidate images (correct + decoys).
+class PictureQuestion {
+ public:
+  /// `candidates` are the images shown to receivers (order randomized by
+  /// the caller/UI); `correct_index` selects the true answer. Throws on
+  /// empty candidates, out-of-range index, or duplicate images (a duplicate
+  /// of the correct image would make two choices "right" — reject early).
+  PictureQuestion(std::string prompt, std::vector<Bytes> candidates,
+                  std::size_t correct_index);
+
+  [[nodiscard]] const std::string& prompt() const { return prompt_; }
+  [[nodiscard]] const std::vector<Bytes>& candidates() const { return candidates_; }
+
+  /// The canonical answer string fed into Context: hash of the image bytes.
+  [[nodiscard]] static std::string answer_for_image(std::span<const std::uint8_t> image);
+
+  /// The ContextPair this question contributes to a puzzle.
+  [[nodiscard]] ContextPair to_context_pair() const;
+
+  /// Receiver side: "I remember this one" — returns the Knowledge entry for
+  /// choosing `candidate_index`.
+  [[nodiscard]] std::pair<std::string, std::string> choose(std::size_t candidate_index) const;
+
+ private:
+  std::string prompt_;
+  std::vector<Bytes> candidates_;
+  std::size_t correct_index_;
+};
+
+/// Convenience: builds a Context mixing picture and text questions.
+Context build_picture_context(const std::vector<PictureQuestion>& pictures,
+                              const std::vector<ContextPair>& text_pairs = {});
+
+}  // namespace sp::core

@@ -1,0 +1,334 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+namespace sp::core {
+
+using net::CpuTimer;
+
+Session::Session(SessionConfig config)
+    : config_(std::move(config)),
+      curve_(ec::preset_params(config_.pairing_preset)),
+      c1_(std::make_unique<Construction1>(
+          // Shamir field = the pairing base field: one parameter set drives
+          // both constructions, as one security level should.
+          curve_.fp(), curve_)),
+      c2_(std::make_unique<Construction2>(curve_)),
+      network_(config_.link, crypto::Drbg(config_.seed + "-net")),
+      rng_(config_.seed + "-session") {}
+
+osn::UserId Session::register_user(const std::string& name) {
+  const osn::UserId id = graph_.add_user(name);
+  crypto::Drbg key_rng = rng_.fork("user-keys-" + std::to_string(id));
+  user_keys_.emplace(id, sig::Schnorr(curve_, curve_.hash_to_group(crypto::to_bytes("sp-schnorr-g")))
+                             .keygen(key_rng));
+  return id;
+}
+
+void Session::befriend(osn::UserId a, osn::UserId b) { graph_.befriend(a, b); }
+
+ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t> object,
+                               const Context& ctx, std::size_t k, std::size_t n,
+                               const net::DeviceProfile& device, osn::Visibility visibility) {
+  const sig::KeyPair& keys = user_keys_.at(sharer);
+  crypto::Drbg op_rng = rng_.fork("share-c1");
+  net::CostLedger ledger(device);
+
+  // -- local: Upload subroutine (crypto) --------------------------------
+  CpuTimer timer;
+  auto result = c1_->upload(object, ctx, k, n, keys, op_rng);
+  ledger.add_local_measured(timer.elapsed_ms());
+
+  // -- network: store O_{K_O} at the DH ---------------------------------
+  ledger.add_network(network_.transfer_ms(result.encrypted_object.size()));
+  ledger.add_bytes(result.encrypted_object.size());
+  const std::string url = dh_.store(std::move(result.encrypted_object));
+
+  // -- local: patch URL_O and re-sign (DoS countermeasure) --------------
+  timer.reset();
+  result.puzzle.url = url;
+  c1_->sign_puzzle(result.puzzle, keys);
+  const Bytes record = result.puzzle.serialize();
+  ledger.add_local_measured(timer.elapsed_ms());
+
+  // -- network: upload Z_O to the SP ------------------------------------
+  ledger.add_network(network_.transfer_ms(record.size()));
+  ledger.add_bytes(record.size());
+  const std::string post_id = sp_.store_record(record);
+
+  StoredPuzzle stored;
+  stored.kind = SchemeKind::kConstruction1;
+  stored.sharer = sharer;
+  stored.visibility = visibility;
+  stored.puzzle = std::move(result.puzzle);
+  stored.url = url;
+  puzzles_.emplace(post_id, std::move(stored));
+
+  graph_.post(osn::Post{sharer, post_id, "shared a social puzzle", visibility});
+  return ShareReceipt{post_id, ledger, object.size()};
+}
+
+ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t> object,
+                               const Context& ctx, std::size_t k,
+                               const net::DeviceProfile& device, osn::Visibility visibility) {
+  crypto::Drbg op_rng = rng_.fork("share-c2");
+  net::CostLedger ledger(device);
+
+  // -- local: Setup + Encrypt + Perturb (the heavy CP-ABE work) ----------
+  CpuTimer timer;
+  auto files = c2_->upload(object, ctx, k, op_rng);
+  ledger.add_local_measured(timer.elapsed_ms());
+
+  // -- network: the paper's four cURL uploads (details, pub, master -> SP;
+  //    ciphertext -> DH). Each file is a separately spawned cURL HTTPS
+  //    request (cold connection: DNS + TCP + TLS ≈ 3 round trips), which is
+  //    the "additional overhead caused by the cURL library" the paper blames
+  //    for I2's network delay. C1's single warm-browser XHR pays 1.
+  constexpr int kColdCurlRoundTrips = 3;
+  const Bytes details = files.perturbed_tree.serialize();
+  for (const std::size_t bytes :
+       {details.size(), files.public_key.size(), files.master_key.size()}) {
+    ledger.add_network(network_.transfer_ms(bytes, kColdCurlRoundTrips));
+    ledger.add_bytes(bytes);
+  }
+  ledger.add_network(network_.transfer_ms(files.ciphertext.size(), kColdCurlRoundTrips));
+  ledger.add_bytes(files.ciphertext.size());
+  const std::string url = dh_.store(files.ciphertext);
+
+  // SP view: τ' + PK + MK (it never sees τ or the object).
+  sp_.observe("c2-details", details);
+  sp_.observe("c2-public-key", files.public_key);
+  sp_.observe("c2-master-key", files.master_key);
+
+  StoredPuzzle stored;
+  stored.kind = SchemeKind::kConstruction2;
+  stored.sharer = sharer;
+  stored.visibility = visibility;
+  stored.c2_files = std::move(files);
+  stored.url = url;
+
+  const std::string post_id = sp_.store_record(details);
+  puzzles_.emplace(post_id, std::move(stored));
+  graph_.post(osn::Post{sharer, post_id, "shared a social puzzle (ABE)", visibility});
+  return ShareReceipt{post_id, ledger, object.size()};
+}
+
+ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
+                              std::span<const std::uint8_t> object, const Context& ctx,
+                              const net::DeviceProfile& device) {
+  auto it = puzzles_.find(post_id);
+  if (it == puzzles_.end()) throw std::out_of_range("Session::refresh: unknown post " + post_id);
+  StoredPuzzle& stored = it->second;
+  if (stored.sharer != sharer) {
+    throw std::logic_error("Session::refresh: only the original sharer can refresh");
+  }
+
+  const std::string old_url = stored.url;
+  net::CostLedger ledger(device);
+  crypto::Drbg op_rng = rng_.fork("refresh-" + post_id);
+
+  if (stored.kind == SchemeKind::kConstruction1) {
+    const sig::KeyPair& keys = user_keys_.at(sharer);
+    const std::size_t k = stored.puzzle->threshold;
+    const std::size_t n = stored.puzzle->n();
+
+    CpuTimer timer;
+    auto result = c1_->upload(object, ctx, k, n, keys, op_rng);
+    ledger.add_local_measured(timer.elapsed_ms());
+
+    ledger.add_network(network_.transfer_ms(result.encrypted_object.size()));
+    ledger.add_bytes(result.encrypted_object.size());
+    const std::string url = dh_.store(std::move(result.encrypted_object));
+
+    timer.reset();
+    result.puzzle.url = url;
+    c1_->sign_puzzle(result.puzzle, keys);
+    const Bytes record = result.puzzle.serialize();
+    ledger.add_local_measured(timer.elapsed_ms());
+
+    ledger.add_network(network_.transfer_ms(record.size()));
+    ledger.add_bytes(record.size());
+    sp_.replace_record(post_id, record);
+
+    stored.puzzle = std::move(result.puzzle);
+    stored.url = url;
+  } else {
+    const std::size_t k = stored.c2_files->threshold;
+
+    CpuTimer timer;
+    auto files = c2_->upload(object, ctx, k, op_rng);
+    ledger.add_local_measured(timer.elapsed_ms());
+
+    constexpr int kColdCurlRoundTrips = 3;
+    const Bytes details = files.perturbed_tree.serialize();
+    for (const std::size_t bytes :
+         {details.size(), files.public_key.size(), files.master_key.size()}) {
+      ledger.add_network(network_.transfer_ms(bytes, kColdCurlRoundTrips));
+      ledger.add_bytes(bytes);
+    }
+    ledger.add_network(network_.transfer_ms(files.ciphertext.size(), kColdCurlRoundTrips));
+    ledger.add_bytes(files.ciphertext.size());
+    const std::string url = dh_.store(files.ciphertext);
+
+    sp_.observe("c2-details", details);
+    sp_.observe("c2-public-key", files.public_key);
+    sp_.observe("c2-master-key", files.master_key);
+    sp_.replace_record(post_id, details);
+
+    stored.c2_files = std::move(files);
+    stored.url = url;
+  }
+
+  // Retire the stale ciphertext so leaked keys can't fetch it later.
+  dh_.remove(old_url);
+  return ShareReceipt{post_id, ledger, object.size()};
+}
+
+AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
+                             const Knowledge& knowledge, const net::DeviceProfile& device) {
+  const auto it = puzzles_.find(post_id);
+  if (it == puzzles_.end()) throw std::out_of_range("Session::access: unknown post " + post_id);
+  const StoredPuzzle& stored = it->second;
+  // OSN-level ACL for friends-only posts; public (Twitter-style) posts rely
+  // on the puzzle alone — "the context-based access mechanism will add a
+  // layer of privacy protection" (§I).
+  if (stored.visibility == osn::Visibility::kFriends && receiver != stored.sharer &&
+      !graph_.are_friends(receiver, stored.sharer)) {
+    throw std::logic_error("Session::access: receiver is not in the sharer's network");
+  }
+  net::CostLedger ledger(device);
+  crypto::Drbg op_rng = rng_.fork("access-" + post_id);
+  if (stored.kind == SchemeKind::kConstruction1) {
+    return access_c1(stored, knowledge, ledger, op_rng);
+  }
+  return access_c2(stored, knowledge, ledger, op_rng);
+}
+
+AccessResult Session::access_with_retries(osn::UserId receiver, const std::string& post_id,
+                                          const Knowledge& knowledge,
+                                          const net::DeviceProfile& device, int max_draws) {
+  if (max_draws < 1) throw std::invalid_argument("access_with_retries: max_draws >= 1");
+  AccessResult result;
+  for (int draw = 0; draw < max_draws; ++draw) {
+    result = access(receiver, post_id, knowledge, device);
+    if (result.success()) break;
+  }
+  return result;
+}
+
+AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
+                                net::CostLedger& ledger, crypto::Drbg& rng) {
+  const Puzzle& puzzle = *stored.puzzle;
+
+  // -- SP: DisplayPuzzle; network: challenge download -------------------
+  const auto challenge = Construction1::display_puzzle(puzzle, rng);
+  ledger.add_network(network_.transfer_ms(challenge.wire_size()));
+  ledger.add_bytes(challenge.wire_size());
+
+  // -- receiver local: AnswerPuzzle (hashing) ----------------------------
+  CpuTimer timer;
+  const auto response = Construction1::answer_puzzle(challenge, knowledge);
+  ledger.add_local_measured(timer.elapsed_ms());
+
+  // -- network: response up, reply down (one exchange) -------------------
+  // The SP's observation log gets everything the receiver sends.
+  for (const Bytes& h : response.hashes) sp_.observe("c1-response-hash", h);
+  const auto reply = Construction1::verify(puzzle, challenge, response.hashes);
+  ledger.add_network(
+      network_.transfer_ms(response.wire_size() + reply.wire_size()));
+  ledger.add_bytes(response.wire_size() + reply.wire_size());
+
+  AccessResult result;
+  result.cost = ledger;
+  result.granted = reply.granted;
+  if (!reply.granted) {
+    result.cost = ledger;
+    return result;
+  }
+
+  // -- receiver local: verify the sharer's signature on (URL, k, K_Z) ----
+  timer.reset();
+  Puzzle verified_view = puzzle;  // fields as received from the SP
+  verified_view.url = reply.url;
+  const bool sig_ok = c1_->verify_puzzle_signature(verified_view);
+  ledger.add_local_measured(timer.elapsed_ms());
+  if (!sig_ok) {
+    result.granted = false;
+    result.cost = ledger;
+    return result;
+  }
+
+  // -- network: download O_{K_O} from the DH -----------------------------
+  Bytes encrypted;
+  try {
+    encrypted = dh_.fetch(reply.url);
+  } catch (const std::out_of_range&) {
+    result.cost = ledger;
+    return result;  // malicious SP pointed at a missing object
+  }
+  ledger.add_network(network_.transfer_ms(encrypted.size()));
+  ledger.add_bytes(encrypted.size());
+
+  // -- receiver local: Access (unblind, Lagrange, decrypt) --------------
+  timer.reset();
+  result.object = c1_->access(puzzle, challenge, reply, knowledge, encrypted);
+  ledger.add_local_measured(timer.elapsed_ms());
+  result.cost = ledger;
+  return result;
+}
+
+AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
+                                net::CostLedger& ledger, crypto::Drbg& rng) {
+  const auto& files = *stored.c2_files;
+
+  // -- network: download details (τ' questions) --------------------------
+  const auto challenge = Construction2::display_puzzle(files.perturbed_tree, files.threshold);
+  ledger.add_network(network_.transfer_ms(challenge.wire_size()));
+  ledger.add_bytes(challenge.wire_size());
+
+  // -- receiver local: hash answers --------------------------------------
+  CpuTimer timer;
+  const auto response = Construction2::answer_puzzle(challenge, knowledge);
+  ledger.add_local_measured(timer.elapsed_ms());
+
+  for (const std::string& h : response.answer_hashes) {
+    sp_.observe("c2-response-hash", crypto::to_bytes(h));
+  }
+  const auto reply = Construction2::verify(files.perturbed_tree, files.threshold, challenge,
+                                           response, stored.url);
+  ledger.add_network(network_.transfer_ms(response.wire_size() + reply.wire_size(files)));
+  ledger.add_bytes(response.wire_size() + reply.wire_size(files));
+
+  AccessResult result;
+  result.granted = reply.granted;
+  if (!reply.granted) {
+    result.cost = ledger;
+    return result;
+  }
+
+  // -- network: three file downloads (CT' from DH; PK, MK from SP), again
+  //    one cold cURL connection each in the paper's Qt receiver -----------
+  constexpr int kColdCurlRoundTrips = 3;
+  Bytes ciphertext;
+  try {
+    ciphertext = dh_.fetch(reply.url);
+  } catch (const std::out_of_range&) {
+    result.cost = ledger;
+    return result;
+  }
+  ledger.add_network(network_.transfer_ms(ciphertext.size(), kColdCurlRoundTrips));
+  ledger.add_bytes(ciphertext.size());
+  ledger.add_network(network_.transfer_ms(files.public_key.size(), kColdCurlRoundTrips));
+  ledger.add_bytes(files.public_key.size());
+  ledger.add_network(network_.transfer_ms(files.master_key.size(), kColdCurlRoundTrips));
+  ledger.add_bytes(files.master_key.size());
+
+  // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
+  timer.reset();
+  result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng);
+  ledger.add_local_measured(timer.elapsed_ms());
+  result.cost = ledger;
+  return result;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,141 @@
+// End-to-end orchestration: runs Construction 1 / Construction 2 over the
+// simulated OSN (SocialGraph + ServiceProvider + StorageHost) with the
+// network/device cost model, producing exactly the local-vs-network delay
+// decomposition of the paper's Figure 10.
+//
+// The session is the library's top-level convenience API — the examples and
+// the benchmark harness both drive it — but every protocol step is also
+// reachable individually through Construction1/Construction2 for callers
+// that bring their own transport.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/construction1.hpp"
+#include "core/construction2.hpp"
+#include "net/simnet.hpp"
+#include "osn/service_provider.hpp"
+#include "osn/social_graph.hpp"
+#include "osn/storage_host.hpp"
+
+namespace sp::core {
+
+/// Which construction a share used (recorded per post).
+enum class SchemeKind { kConstruction1, kConstruction2 };
+
+struct ShareReceipt {
+  std::string post_id;       ///< puzzle id hyperlinked on the sharer's feed
+  net::CostLedger cost;      ///< sharer-side Fig. 10 decomposition
+  std::size_t object_bytes = 0;
+};
+
+struct AccessResult {
+  bool granted = false;      ///< SP-side Verify outcome
+  std::optional<Bytes> object;  ///< decrypted object on full success
+  net::CostLedger cost;      ///< receiver-side Fig. 10 decomposition
+
+  [[nodiscard]] bool success() const { return granted && object.has_value(); }
+};
+
+struct SessionConfig {
+  ec::ParamPreset pairing_preset = ec::ParamPreset::kTest;
+  net::LinkProfile link = net::wlan_80211n_to_ec2();
+  std::string seed = "sp-session";
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+
+  // ---- OSN management -------------------------------------------------
+  [[nodiscard]] osn::UserId register_user(const std::string& name);
+  void befriend(osn::UserId a, osn::UserId b);
+  /// Twitter-style directed follow (see osn::Visibility::kPublic).
+  void follow(osn::UserId follower, osn::UserId followee) { graph_.follow(follower, followee); }
+  [[nodiscard]] const osn::SocialGraph& graph() const { return graph_; }
+  [[nodiscard]] osn::ServiceProvider& service_provider() { return sp_; }
+  [[nodiscard]] osn::StorageHost& storage_host() { return dh_; }
+
+  // ---- sharing ---------------------------------------------------------
+  /// Construction 1 share: Upload + DH store + SP record + feed post.
+  /// `visibility` = kPublic posts the hyperlink Twitter-style: any registered
+  /// user can attempt the puzzle — the context IS the access control.
+  ShareReceipt share_c1(osn::UserId sharer, std::span<const std::uint8_t> object,
+                        const Context& ctx, std::size_t k, std::size_t n,
+                        const net::DeviceProfile& device,
+                        osn::Visibility visibility = osn::Visibility::kFriends);
+
+  /// Construction 2 share: Setup + Encrypt + Perturb + four-file upload.
+  ShareReceipt share_c2(osn::UserId sharer, std::span<const std::uint8_t> object,
+                        const Context& ctx, std::size_t k, const net::DeviceProfile& device,
+                        osn::Visibility visibility = osn::Visibility::kFriends);
+
+  /// Paper §VI-C collusion countermeasure: "Sharers can periodically modify
+  /// the puzzle Z_O and/or the encryption key K_O (by re-encrypting the
+  /// object)". Re-runs the sharer-side pipeline for an existing post with a
+  /// fresh object secret, puzzle key and storage URL; the post id (and the
+  /// feed hyperlink) stay stable, previously leaked shares become useless.
+  /// Only the original sharer may refresh (throws std::logic_error
+  /// otherwise). The sharer supplies the object and context again — neither
+  /// is recoverable from the hosts, by design.
+  ShareReceipt refresh(osn::UserId sharer, const std::string& post_id,
+                       std::span<const std::uint8_t> object, const Context& ctx,
+                       const net::DeviceProfile& device);
+
+  // ---- receiving -------------------------------------------------------
+  /// Full receiver flow for a feed hyperlink. Enforces OSN visibility: only
+  /// the sharer's friends reach the puzzle (throws std::logic_error
+  /// otherwise — the paper delegates stranger-blocking to Facebook ACLs).
+  AccessResult access(osn::UserId receiver, const std::string& post_id,
+                      const Knowledge& knowledge, const net::DeviceProfile& device);
+
+  /// Construction 1's DisplayPuzzle shows a random r-subset of questions, so
+  /// a receiver who knows enough answers overall can still draw a challenge
+  /// missing them (the web UI just reloads the page). This retries up to
+  /// `max_draws` fresh challenges and returns the first success — or the
+  /// last failure, with the cost of that final attempt.
+  AccessResult access_with_retries(osn::UserId receiver, const std::string& post_id,
+                                   const Knowledge& knowledge,
+                                   const net::DeviceProfile& device, int max_draws = 8);
+
+  /// A user's view of their feed.
+  [[nodiscard]] std::vector<osn::Post> feed_of(osn::UserId user) const {
+    return graph_.feed_for(user);
+  }
+
+  [[nodiscard]] const Construction1& c1() const { return *c1_; }
+  [[nodiscard]] const Construction2& c2() const { return *c2_; }
+  [[nodiscard]] const ec::Curve& curve() const { return curve_; }
+
+ private:
+  struct StoredPuzzle {
+    SchemeKind kind;
+    osn::UserId sharer;
+    osn::Visibility visibility = osn::Visibility::kFriends;
+    // C1 state.
+    std::optional<Puzzle> puzzle;
+    // C2 state (what the SP holds: τ', PK, MK, URL).
+    std::optional<Construction2::UploadResult> c2_files;
+    std::string url;
+  };
+
+  AccessResult access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
+                         net::CostLedger& ledger, crypto::Drbg& rng);
+  AccessResult access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
+                         net::CostLedger& ledger, crypto::Drbg& rng);
+
+  SessionConfig config_;
+  ec::Curve curve_;
+  std::unique_ptr<Construction1> c1_;
+  std::unique_ptr<Construction2> c2_;
+  osn::SocialGraph graph_;
+  osn::ServiceProvider sp_;
+  osn::StorageHost dh_;
+  net::Network network_;
+  crypto::Drbg rng_;
+  std::map<osn::UserId, sig::KeyPair> user_keys_;
+  std::map<std::string, StoredPuzzle> puzzles_;  ///< SP-side protocol state
+};
+
+}  // namespace sp::core

@@ -1,0 +1,64 @@
+#include "core/trivial_scheme.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+
+namespace sp::core {
+
+std::size_t TrivialScheme::SharedObject::wire_size() const {
+  std::size_t size = salt.size() + ciphertext.size() + 8;
+  for (const auto& q : questions) size += 4 + q.size();
+  return size;
+}
+
+Bytes TrivialScheme::derive_key(const std::vector<std::string>& questions,
+                                const std::vector<std::string>& answers,
+                                std::span<const std::uint8_t> salt) {
+  // HKDF over the concatenation of all (question, normalized answer) pairs,
+  // with unambiguous framing.
+  Bytes ikm;
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    const Bytes q = crypto::to_bytes(questions[i]);
+    const Bytes a = crypto::to_bytes(Context::normalize_answer(answers[i]));
+    ikm.push_back(static_cast<std::uint8_t>(q.size() >> 8));
+    ikm.push_back(static_cast<std::uint8_t>(q.size()));
+    ikm.insert(ikm.end(), q.begin(), q.end());
+    ikm.push_back(static_cast<std::uint8_t>(a.size() >> 8));
+    ikm.push_back(static_cast<std::uint8_t>(a.size()));
+    ikm.insert(ikm.end(), a.begin(), a.end());
+  }
+  return crypto::hkdf(ikm, salt, crypto::to_bytes("sp-trivial-scheme"), 32);
+}
+
+TrivialScheme::SharedObject TrivialScheme::share(std::span<const std::uint8_t> object,
+                                                 const Context& ctx, crypto::Drbg& rng) {
+  if (ctx.empty()) throw std::invalid_argument("TrivialScheme::share: empty context");
+  SharedObject out;
+  out.salt = rng.bytes(16);
+  std::vector<std::string> answers;
+  for (const auto& p : ctx.pairs()) {
+    out.questions.push_back(p.question);
+    answers.push_back(p.answer);
+  }
+  const Bytes key = derive_key(out.questions, answers, out.salt);
+  out.ciphertext = crypto::seal(key, rng.bytes(16), object);
+  return out;
+}
+
+std::optional<Bytes> TrivialScheme::access(const SharedObject& shared,
+                                           const Knowledge& knowledge) {
+  std::vector<std::string> answers;
+  for (const auto& q : shared.questions) {
+    const auto a = knowledge.recall(q);
+    if (!a) return std::nullopt;  // cannot even form the key material
+    answers.push_back(*a);
+  }
+  const Bytes key = derive_key(shared.questions, answers, shared.salt);
+  try {
+    return crypto::open(key, shared.ciphertext);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // any single wrong answer garbles the key
+  }
+}
+
+}  // namespace sp::core

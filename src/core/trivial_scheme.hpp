@@ -1,0 +1,48 @@
+// The strawman the paper dismisses in §I — implemented as a baseline:
+//
+//   "A trivial context-aware access control scheme can be constructed as
+//    follows: sharer generates a symmetric encryption key (and then encrypts
+//    data) by using all the context associated with the data, while the
+//    receiver regenerates the key (to decrypt the data) by proving knowledge
+//    of the entire context. However, such a trivial scheme is not useful
+//    because most of the times receivers will not be aware of the entire
+//    context related to the shared data."
+//
+// The key is derived from ALL answers; there is no threshold. The
+// baseline-comparison bench quantifies the paper's argument: access success
+// collapses for receivers with partial knowledge, where Construction 1/2
+// with k < N keep working.
+#pragma once
+
+#include <optional>
+
+#include "core/context.hpp"
+
+namespace sp::core {
+
+class TrivialScheme {
+ public:
+  struct SharedObject {
+    std::vector<std::string> questions;  ///< displayed to receivers
+    Bytes salt;                          ///< public KDF salt
+    Bytes ciphertext;                    ///< sealed under the all-answers key
+
+    [[nodiscard]] std::size_t wire_size() const;
+  };
+
+  /// Encrypts `object` under a key derived from every (normalized) answer.
+  [[nodiscard]] static SharedObject share(std::span<const std::uint8_t> object,
+                                          const Context& ctx, crypto::Drbg& rng);
+
+  /// Attempts decryption with the receiver's knowledge. All N answers must
+  /// be exactly right; there is no partial credit.
+  [[nodiscard]] static std::optional<Bytes> access(const SharedObject& shared,
+                                                   const Knowledge& knowledge);
+
+ private:
+  [[nodiscard]] static Bytes derive_key(const std::vector<std::string>& questions,
+                                        const std::vector<std::string>& answers,
+                                        std::span<const std::uint8_t> salt);
+};
+
+}  // namespace sp::core

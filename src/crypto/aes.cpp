@@ -1,0 +1,212 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sp::crypto {
+
+namespace {
+
+// S-box and inverse S-box generated from the AES affine map over GF(2^8).
+struct Tables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+
+  Tables() {
+    // Build via multiplicative inverse in GF(2^8) + affine transform.
+    std::array<std::uint8_t, 256> inv{};
+    inv[0] = 0;
+    for (int i = 1; i < 256; ++i) {
+      for (int j = 1; j < 256; ++j) {
+        if (gf_mul(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j)) == 1) {
+          inv[i] = static_cast<std::uint8_t>(j);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t x = inv[i];
+      std::uint8_t y = x;
+      for (int r = 0; r < 4; ++r) {
+        y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+        x ^= y;
+      }
+      x ^= 0x63;
+      sbox[i] = x;
+      inv_sbox[x] = static_cast<std::uint8_t>(i);
+    }
+  }
+
+  static std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & 1) p ^= a;
+      const bool hi = a & 0x80;
+      a = static_cast<std::uint8_t>(a << 1);
+      if (hi) a ^= 0x1b;  // x^8 + x^4 + x^3 + x + 1
+      b >>= 1;
+    }
+    return p;
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) { return Tables::gf_mul(a, b); }
+
+}  // namespace
+
+Aes::Aes(std::span<const std::uint8_t> key) {
+  switch (key.size()) {
+    case 16: rounds_ = 10; break;
+    case 24: rounds_ = 12; break;
+    case 32: rounds_ = 14; break;
+    default: throw std::invalid_argument("Aes: key must be 16/24/32 bytes");
+  }
+  expand_key(key);
+}
+
+void Aes::expand_key(std::span<const std::uint8_t> key) {
+  const auto& t = tables();
+  const std::size_t nk = key.size() / 4;
+  const std::size_t total_words = 4u * (static_cast<std::size_t>(rounds_) + 1);
+  round_keys_.assign(total_words, 0);
+  for (std::size_t i = 0; i < nk; ++i) {
+    round_keys_[i] = (std::uint32_t{key[4 * i]} << 24) | (std::uint32_t{key[4 * i + 1]} << 16) |
+                     (std::uint32_t{key[4 * i + 2]} << 8) | std::uint32_t{key[4 * i + 3]};
+  }
+  std::uint8_t rcon = 0x01;
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = (temp << 8) | (temp >> 24);  // RotWord
+      temp = (std::uint32_t{t.sbox[(temp >> 24) & 0xff]} << 24) |
+             (std::uint32_t{t.sbox[(temp >> 16) & 0xff]} << 16) |
+             (std::uint32_t{t.sbox[(temp >> 8) & 0xff]} << 8) |
+             std::uint32_t{t.sbox[temp & 0xff]};
+      temp ^= std::uint32_t{rcon} << 24;
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = (std::uint32_t{t.sbox[(temp >> 24) & 0xff]} << 24) |
+             (std::uint32_t{t.sbox[(temp >> 16) & 0xff]} << 16) |
+             (std::uint32_t{t.sbox[(temp >> 8) & 0xff]} << 8) |
+             std::uint32_t{t.sbox[temp & 0xff]};
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw std::invalid_argument("Aes::encrypt_block: need 16-byte buffers");
+  }
+  const auto& t = tables();
+  std::uint8_t s[16];
+  std::memcpy(s, in.data(), 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t w = round_keys_[static_cast<std::size_t>(4 * round + c)];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = t.sbox[b];
+  };
+  auto shift_rows = [&] {
+    std::uint8_t tmp[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    }
+    std::memcpy(s, tmp, 16);
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = s + 4 * c;
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(rounds_);
+  std::memcpy(out.data(), s, 16);
+}
+
+void Aes::decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw std::invalid_argument("Aes::decrypt_block: need 16-byte buffers");
+  }
+  const auto& t = tables();
+  std::uint8_t s[16];
+  std::memcpy(s, in.data(), 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t w = round_keys_[static_cast<std::size_t>(4 * round + c)];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+  auto inv_sub_bytes = [&] {
+    for (auto& b : s) b = t.inv_sbox[b];
+  };
+  auto inv_shift_rows = [&] {
+    std::uint8_t tmp[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) tmp[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    }
+    std::memcpy(s, tmp, 16);
+  };
+  auto inv_mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = s + 4 * c;
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^
+                                         gf_mul(a3, 9));
+      col[1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^
+                                         gf_mul(a3, 13));
+      col[2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^
+                                         gf_mul(a3, 11));
+      col[3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^
+                                         gf_mul(a3, 14));
+    }
+  };
+
+  add_round_key(rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+  std::memcpy(out.data(), s, 16);
+}
+
+}  // namespace sp::crypto

@@ -1,0 +1,36 @@
+// AES-128/192/256 block cipher (FIPS 197), from scratch.
+//
+// The paper's Implementation 1 encrypts the shared object with GibberishAES
+// (AES-256-CBC in the browser); Construction 1 here does the same via
+// aes_cbc_* in modes.hpp, keyed by K_O = H(M_O).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const;
+  void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const;
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  void expand_key(std::span<const std::uint8_t> key);
+
+  int rounds_ = 0;
+  std::vector<std::uint32_t> round_keys_;  // (rounds_+1) * 4 words
+};
+
+}  // namespace sp::crypto

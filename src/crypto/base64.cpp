@@ -1,0 +1,84 @@
+#include "crypto/base64.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace sp::crypto {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decode_table() {
+  std::array<std::int8_t, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return t;
+}
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8) |
+                            std::uint32_t{data[i + 2]};
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = std::uint32_t{data[i]} << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  static const auto table = decode_table();
+  std::string compact;
+  compact.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    compact.push_back(c);
+  }
+  if (compact.size() % 4 != 0) throw std::invalid_argument("base64: length not multiple of 4");
+  Bytes out;
+  out.reserve((compact.size() / 4) * 3);
+  for (std::size_t i = 0; i < compact.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = compact[i + j];
+      if (c == '=') {
+        // Padding only in the last group, trailing positions 2 or 3.
+        if (i + 4 != compact.size() || j < 2) throw std::invalid_argument("base64: bad padding");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw std::invalid_argument("base64: data after padding");
+      const std::int8_t d = table[static_cast<unsigned char>(c)];
+      if (d < 0) throw std::invalid_argument("base64: invalid character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace sp::crypto

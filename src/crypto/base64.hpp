@@ -1,0 +1,19 @@
+// Base64 (RFC 4648) — GibberishAES armors its "Salted__" envelopes in
+// base64 for transport inside HTML forms and database columns.
+#pragma once
+
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+/// Standard alphabet with '=' padding, no line wrapping.
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Strict decoder: rejects bad characters, bad padding and bad length
+/// (throws std::invalid_argument). Whitespace is tolerated (GibberishAES
+/// historically wrapped lines).
+Bytes base64_decode(std::string_view text);
+
+}  // namespace sp::crypto

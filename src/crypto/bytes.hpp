@@ -1,0 +1,42 @@
+// Byte-buffer utilities shared by every module: hex codecs, XOR blinding,
+// constant-time comparison, and string <-> bytes conversion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sp::crypto {
+
+/// The library-wide octet-string type. Kept as uint8_t (not std::byte) so
+/// arithmetic in the hash/cipher cores stays free of casts.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of an octet string.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// UTF-8/ASCII string to bytes (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Bytes to std::string (may embed NULs).
+std::string to_string(std::span<const std::uint8_t> data);
+
+/// Element-wise XOR. If the operands differ in length, the result has the
+/// length of `a` and `b` is cycled — the paper XORs a secret share with a
+/// context answer, which rarely match in size.
+Bytes xor_cycle(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Constant-time equality (length leaks; contents do not). Used for answer
+/// hash verification at the service provider.
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Concatenates buffers; used when building hash inputs like H(a_i || K_Z).
+Bytes concat(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+}  // namespace sp::crypto

@@ -1,0 +1,58 @@
+#include "crypto/drbg.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sp::crypto {
+
+namespace {
+constexpr std::uint8_t kNonce[12] = {'s', 'p', '-', 'd', 'r', 'b', 'g', '-', 'v', '1', 0, 0};
+}
+
+Drbg::Drbg(std::string_view seed) : Drbg(std::span<const std::uint8_t>(to_bytes(seed))) {}
+
+Drbg::Drbg(std::span<const std::uint8_t> seed) {
+  key_ = Sha256::hash(seed);
+  stream_ = std::make_unique<ChaCha20>(key_, std::span<const std::uint8_t>(kNonce, 12));
+}
+
+Bytes Drbg::bytes(std::size_t n) {
+  Bytes out(n);
+  stream_->keystream(out);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  Bytes b = bytes(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Drbg::uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+double Drbg::uniform_real() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  Bytes child_seed = hmac_sha256(key_, to_bytes(label));
+  // Mix in stream position entropy so repeated forks with the same label
+  // (e.g. per-trial forks in the bench harness) produce distinct children.
+  Bytes pos = bytes(32);
+  child_seed = hmac_sha256(child_seed, pos);
+  return Drbg(std::span<const std::uint8_t>(child_seed));
+}
+
+}  // namespace sp::crypto

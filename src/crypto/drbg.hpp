@@ -1,0 +1,42 @@
+// Deterministic random bit generator: SHA-256-seeded ChaCha20 keystream.
+//
+// All nondeterminism in the library (polynomial coefficients, share
+// abscissae, CP-ABE exponents, network jitter, workload generation) is drawn
+// from a Drbg so runs are reproducible given a seed string — essential for
+// the benchmark harness and the security regression tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "crypto/bytes.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace sp::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from an arbitrary string (hashed to the ChaCha key).
+  explicit Drbg(std::string_view seed);
+  /// Seeds from raw bytes.
+  explicit Drbg(std::span<const std::uint8_t> seed);
+
+  /// n fresh pseudo-random bytes.
+  Bytes bytes(std::size_t n);
+  /// Uniform uint64.
+  std::uint64_t next_u64();
+  /// Uniform integer in [0, bound) via rejection sampling; bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double uniform_real();
+  /// Fork an independent child stream labeled by `label` — lets subsystems
+  /// (e.g. network jitter vs. crypto sampling) draw without interleaving.
+  Drbg fork(std::string_view label);
+
+ private:
+  std::unique_ptr<ChaCha20> stream_;
+  Bytes key_;  // retained for fork()
+};
+
+}  // namespace sp::crypto

@@ -1,0 +1,133 @@
+#include "crypto/gcm.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+
+namespace sp::crypto {
+
+namespace {
+
+using Block = std::array<std::uint8_t, 16>;
+
+Block xor_blocks(const Block& a, const Block& b) {
+  Block out;
+  for (int i = 0; i < 16; ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+// GF(2^128) multiplication per SP 800-38D §6.3 (bitwise; correctness over
+// speed — GCM is not on the benchmarked path).
+Block gf_mul(const Block& x, const Block& y) {
+  Block z{};
+  Block v = y;
+  for (int i = 0; i < 128; ++i) {
+    const bool xi = (x[i / 8] >> (7 - i % 8)) & 1;
+    if (xi) z = xor_blocks(z, v);
+    const bool lsb = v[15] & 1;
+    // v >>= 1 (big-endian bit order)
+    for (int j = 15; j > 0; --j) v[j] = static_cast<std::uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;  // reduction by x^128 + x^7 + x^2 + x + 1
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(const Block& h) : h_(h) {}
+
+  void update(std::span<const std::uint8_t> data) {
+    // Processes data zero-padded to a block boundary (callers pass whole
+    // logical fields, matching GHASH(A || pad || C || pad || lens)).
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+      Block blk{};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+                data.begin() + static_cast<std::ptrdiff_t>(off + n), blk.begin());
+      y_ = gf_mul(xor_blocks(y_, blk), h_);
+    }
+  }
+
+  void update_lengths(std::uint64_t aad_bits, std::uint64_t ct_bits) {
+    Block blk{};
+    for (int i = 0; i < 8; ++i) blk[i] = static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i) blk[8 + i] = static_cast<std::uint8_t>(ct_bits >> (56 - 8 * i));
+    y_ = gf_mul(xor_blocks(y_, blk), h_);
+  }
+
+  [[nodiscard]] const Block& digest() const { return y_; }
+
+ private:
+  Block h_;
+  Block y_{};
+};
+
+void inc32(Block& counter) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+struct GcmCore {
+  Aes aes;
+  Block h{};
+  Block j0{};
+
+  GcmCore(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv) : aes(key) {
+    if (iv.size() != 12) throw std::invalid_argument("aes_gcm: IV must be 12 bytes");
+    const Block zero{};
+    aes.encrypt_block(zero, h);
+    std::copy(iv.begin(), iv.end(), j0.begin());
+    j0[15] = 1;
+  }
+
+  Bytes ctr_crypt(std::span<const std::uint8_t> data) const {
+    Bytes out(data.size());
+    Block counter = j0;
+    Block keystream;
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+      inc32(counter);
+      aes.encrypt_block(counter, keystream);
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    }
+    return out;
+  }
+
+  Block tag(std::span<const std::uint8_t> aad, std::span<const std::uint8_t> ct) const {
+    Ghash ghash(h);
+    ghash.update(aad);
+    ghash.update(ct);
+    ghash.update_lengths(static_cast<std::uint64_t>(aad.size()) * 8,
+                         static_cast<std::uint64_t>(ct.size()) * 8);
+    Block ek_j0;
+    aes.encrypt_block(j0, ek_j0);
+    return xor_blocks(ghash.digest(), ek_j0);
+  }
+};
+
+}  // namespace
+
+Bytes aes_gcm_encrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> aad, std::span<const std::uint8_t> plaintext) {
+  const GcmCore core(key, iv);
+  Bytes out = core.ctr_crypt(plaintext);
+  const Block tag = core.tag(aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Bytes aes_gcm_decrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> aad, std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < 16) throw std::invalid_argument("aes_gcm_decrypt: too short");
+  const GcmCore core(key, iv);
+  const auto ct = sealed.first(sealed.size() - 16);
+  const auto tag = sealed.subspan(sealed.size() - 16);
+  const Block expect = core.tag(aad, ct);
+  if (!ct_equal(expect, tag)) throw std::runtime_error("aes_gcm_decrypt: authentication failed");
+  return core.ctr_crypt(ct);
+}
+
+}  // namespace sp::crypto

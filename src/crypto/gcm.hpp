@@ -1,0 +1,28 @@
+// AES-GCM (NIST SP 800-38D): authenticated encryption with associated data.
+//
+// The library's default object envelope is CBC + HMAC (seal/open, matching
+// the paper's CBC-era tooling plus integrity); GCM is provided as the
+// modern alternative so downstream users aren't forced into the legacy
+// construction. Validated against the NIST GCM reference vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+/// Encrypts and authenticates. IV must be 12 bytes (the SP 800-38D fast
+/// path). Returns ciphertext || 16-byte tag. `aad` is authenticated but not
+/// encrypted.
+Bytes aes_gcm_encrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> aad, std::span<const std::uint8_t> plaintext);
+
+/// Verifies and decrypts a buffer produced by aes_gcm_encrypt. Throws
+/// std::runtime_error on authentication failure, std::invalid_argument on
+/// malformed inputs.
+Bytes aes_gcm_decrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> aad, std::span<const std::uint8_t> sealed);
+
+}  // namespace sp::crypto

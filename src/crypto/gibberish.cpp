@@ -1,0 +1,62 @@
+#include "crypto/gibberish.hpp"
+
+#include <stdexcept>
+
+#include "crypto/base64.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/modes.hpp"
+
+namespace sp::crypto {
+
+namespace {
+constexpr char kMagic[] = {'S', 'a', 'l', 't', 'e', 'd', '_', '_'};
+}
+
+Bytes evp_bytes_to_key_md5(std::string_view passphrase, std::span<const std::uint8_t> salt) {
+  if (salt.size() != 8) throw std::invalid_argument("evp_bytes_to_key_md5: salt must be 8 bytes");
+  const Bytes pass = to_bytes(passphrase);
+  Bytes out;
+  Bytes prev;
+  while (out.size() < 48) {  // 32-byte key + 16-byte IV
+    Md5 md5;
+    md5.update(prev);
+    md5.update(pass);
+    md5.update(salt);
+    const auto digest = md5.finish();
+    prev.assign(digest.begin(), digest.end());
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(48);
+  return out;
+}
+
+std::string gibberish_encrypt(std::string_view passphrase,
+                              std::span<const std::uint8_t> plaintext, Drbg& rng) {
+  const Bytes salt = rng.bytes(8);
+  const Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
+  const std::span<const std::uint8_t> key(key_iv.data(), 32);
+  const std::span<const std::uint8_t> iv(key_iv.data() + 32, 16);
+  const Bytes ct = aes_cbc_encrypt(key, iv, plaintext);
+
+  Bytes envelope(std::begin(kMagic), std::end(kMagic));
+  envelope.insert(envelope.end(), salt.begin(), salt.end());
+  envelope.insert(envelope.end(), ct.begin(), ct.end());
+  return base64_encode(envelope);
+}
+
+Bytes gibberish_decrypt(std::string_view passphrase, std::string_view envelope_b64) {
+  const Bytes envelope = base64_decode(envelope_b64);
+  if (envelope.size() < 16 ||
+      !std::equal(std::begin(kMagic), std::end(kMagic), envelope.begin())) {
+    throw std::invalid_argument("gibberish_decrypt: missing Salted__ header");
+  }
+  const std::span<const std::uint8_t> salt(envelope.data() + 8, 8);
+  const Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
+  const std::span<const std::uint8_t> key(key_iv.data(), 32);
+  const std::span<const std::uint8_t> iv(key_iv.data() + 32, 16);
+  return aes_cbc_decrypt(key, iv,
+                         std::span<const std::uint8_t>(envelope.data() + 16,
+                                                       envelope.size() - 16));
+}
+
+}  // namespace sp::crypto

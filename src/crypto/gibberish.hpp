@@ -1,0 +1,33 @@
+// GibberishAES-compatible envelope — byte-for-byte the format the paper's
+// Implementation 1 produces in the browser (github.com/mdp/gibberish-aes):
+//
+//   base64( "Salted__" || salt[8] || AES-256-CBC(plaintext) )
+//
+// with OpenSSL's legacy EVP_BytesToKey(MD5, 1 iteration):
+//   D1 = MD5(pass || salt), D2 = MD5(D1 || pass || salt),
+//   D3 = MD5(D2 || pass || salt); key = D1 || D2, iv = D3.
+//
+// Interoperates with `openssl enc -aes-256-cbc -md md5 -base64` and with the
+// original JavaScript library. No authentication — provided for fidelity;
+// the library's own object encryption uses the authenticated seal/open.
+#pragma once
+
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sp::crypto {
+
+/// Encrypts with a random 8-byte salt drawn from `rng`.
+std::string gibberish_encrypt(std::string_view passphrase,
+                              std::span<const std::uint8_t> plaintext, Drbg& rng);
+
+/// Decrypts; throws std::invalid_argument on malformed envelopes and
+/// std::runtime_error on bad padding (wrong passphrase, usually).
+Bytes gibberish_decrypt(std::string_view passphrase, std::string_view envelope_b64);
+
+/// The legacy KDF, exposed for tests: returns key(32) || iv(16).
+Bytes evp_bytes_to_key_md5(std::string_view passphrase, std::span<const std::uint8_t> salt);
+
+}  // namespace sp::crypto

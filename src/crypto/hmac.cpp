@@ -1,0 +1,66 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace sp::crypto {
+
+Bytes hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes k0(kBlock, 0);
+  if (key.size() > kBlock) {
+    Bytes kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k0.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k0.begin());
+  }
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  auto inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  auto d = outer.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hkdf_extract(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm) {
+  if (salt.empty()) {
+    Bytes zero_salt(Sha256::kDigestSize, 0);
+    return hmac_sha256(zero_salt, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(std::span<const std::uint8_t> prk, std::span<const std::uint8_t> info,
+                  std::size_t len) {
+  if (len > 255 * Sha256::kDigestSize) throw std::invalid_argument("hkdf_expand: len too large");
+  Bytes okm;
+  okm.reserve(len);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < len) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(t.size(), len - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(std::span<const std::uint8_t> ikm, std::span<const std::uint8_t> salt,
+           std::span<const std::uint8_t> info, std::size_t len) {
+  Bytes prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, len);
+}
+
+}  // namespace sp::crypto

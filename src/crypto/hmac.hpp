@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// Used for (a) keyed answer hashes H(a_i, K_Z) — the paper concatenates the
+// answer with a puzzle-specific key before hashing; HMAC is the
+// cryptographically sound realization of that construct — and (b) deriving
+// AES keys/IVs from the object secret M_O.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+/// HMAC-SHA256 over `data` with `key`. 32-byte output.
+Bytes hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+/// HKDF-Extract(salt, ikm) -> 32-byte PRK.
+Bytes hkdf_extract(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand(prk, info, len); len <= 255*32.
+Bytes hkdf_expand(std::span<const std::uint8_t> prk, std::span<const std::uint8_t> info,
+                  std::size_t len);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(std::span<const std::uint8_t> ikm, std::span<const std::uint8_t> salt,
+           std::span<const std::uint8_t> info, std::size_t len);
+
+}  // namespace sp::crypto

@@ -1,0 +1,35 @@
+// MD5 (RFC 1321). Present ONLY for wire compatibility with GibberishAES /
+// OpenSSL's legacy EVP_BytesToKey derivation, which the paper's
+// Implementation 1 relies on in the browser. Never use MD5 for new designs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Md5() { reset(); }
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finish();
+
+  static Bytes hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace sp::crypto

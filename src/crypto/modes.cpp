@@ -1,0 +1,112 @@
+#include "crypto/modes.hpp"
+
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sp::crypto {
+
+namespace {
+constexpr std::size_t kBlock = Aes::kBlockSize;
+constexpr std::size_t kTag = 32;
+
+void check_iv(std::span<const std::uint8_t> iv) {
+  if (iv.size() != kBlock) throw std::invalid_argument("modes: IV must be 16 bytes");
+}
+}  // namespace
+
+Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> plaintext) {
+  check_iv(iv);
+  const Aes aes(key);
+  const std::size_t pad = kBlock - (plaintext.size() % kBlock);
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  std::uint8_t chain[kBlock];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < padded.size(); off += kBlock) {
+    std::uint8_t block[kBlock];
+    for (std::size_t i = 0; i < kBlock; ++i) block[i] = padded[off + i] ^ chain[i];
+    aes.encrypt_block({block, kBlock}, {out.data() + off, kBlock});
+    std::copy(out.begin() + static_cast<std::ptrdiff_t>(off),
+              out.begin() + static_cast<std::ptrdiff_t>(off + kBlock), chain);
+  }
+  return out;
+}
+
+Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> ciphertext) {
+  check_iv(iv);
+  if (ciphertext.empty() || ciphertext.size() % kBlock != 0) {
+    throw std::runtime_error("aes_cbc_decrypt: ciphertext not a block multiple");
+  }
+  const Aes aes(key);
+  Bytes out(ciphertext.size());
+  std::uint8_t chain[kBlock];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < ciphertext.size(); off += kBlock) {
+    std::uint8_t block[kBlock];
+    aes.decrypt_block(ciphertext.subspan(off, kBlock), {block, kBlock});
+    for (std::size_t i = 0; i < kBlock; ++i) out[off + i] = block[i] ^ chain[i];
+    std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+              ciphertext.begin() + static_cast<std::ptrdiff_t>(off + kBlock), chain);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kBlock || pad > out.size()) {
+    throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Bytes aes_ctr_crypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> data) {
+  check_iv(nonce);
+  const Aes aes(key);
+  Bytes out(data.size());
+  std::uint8_t counter[kBlock];
+  std::copy(nonce.begin(), nonce.end(), counter);
+  std::uint8_t keystream[kBlock];
+  for (std::size_t off = 0; off < data.size(); off += kBlock) {
+    aes.encrypt_block({counter, kBlock}, {keystream, kBlock});
+    const std::size_t n = std::min(kBlock, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // Increment big-endian counter in the trailing 8 bytes.
+    for (std::size_t i = kBlock; i-- > kBlock - 8;) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes seal(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+           std::span<const std::uint8_t> plaintext) {
+  check_iv(iv);
+  const Bytes enc_key = hkdf(key, {}, to_bytes("sp-seal-enc"), 32);
+  const Bytes mac_key = hkdf(key, {}, to_bytes("sp-seal-mac"), 32);
+  Bytes ct = aes_cbc_encrypt(enc_key, iv, plaintext);
+  Bytes envelope(iv.begin(), iv.end());
+  envelope.insert(envelope.end(), ct.begin(), ct.end());
+  Bytes tag = hmac_sha256(mac_key, envelope);
+  envelope.insert(envelope.end(), tag.begin(), tag.end());
+  return envelope;
+}
+
+Bytes open(std::span<const std::uint8_t> key, std::span<const std::uint8_t> envelope) {
+  if (envelope.size() < kBlock + kTag) throw std::runtime_error("open: envelope too short");
+  const Bytes enc_key = hkdf(key, {}, to_bytes("sp-seal-enc"), 32);
+  const Bytes mac_key = hkdf(key, {}, to_bytes("sp-seal-mac"), 32);
+  const auto body = envelope.first(envelope.size() - kTag);
+  const auto tag = envelope.subspan(envelope.size() - kTag);
+  const Bytes expect = hmac_sha256(mac_key, body);
+  if (!ct_equal(expect, tag)) throw std::runtime_error("open: authentication failed");
+  return aes_cbc_decrypt(enc_key, body.first(kBlock), body.subspan(kBlock));
+}
+
+}  // namespace sp::crypto

@@ -1,0 +1,38 @@
+// Block-cipher modes on top of Aes: CBC with PKCS#7 padding (matching the
+// paper's GibberishAES usage) and CTR, plus an encrypt-then-MAC authenticated
+// envelope used wherever the reproduction needs integrity (the paper bolts
+// integrity on via sharer signatures; the envelope is our belt-and-braces
+// default for object storage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+/// CBC-encrypts with PKCS#7 padding. IV must be 16 bytes.
+Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> plaintext);
+
+/// CBC-decrypts and strips PKCS#7 padding; throws std::runtime_error on
+/// malformed padding or non-block-multiple input.
+Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> ciphertext);
+
+/// CTR keystream XOR (encrypt == decrypt). Nonce must be 16 bytes (big-endian
+/// counter in the low 8 bytes).
+Bytes aes_ctr_crypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> data);
+
+/// Authenticated envelope: HKDF(key) -> (enc key, mac key); AES-CBC +
+/// HMAC-SHA256 over iv||ciphertext. Layout: iv(16) || ct || tag(32).
+Bytes seal(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+           std::span<const std::uint8_t> plaintext);
+
+/// Opens an envelope produced by seal(); throws std::runtime_error on
+/// authentication failure.
+Bytes open(std::span<const std::uint8_t> key, std::span<const std::uint8_t> envelope);
+
+}  // namespace sp::crypto

@@ -1,0 +1,102 @@
+#include "crypto/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sp::crypto {
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) | (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) | std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  update({&pad, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) update({&zero, 1});
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update({len_be, 8});
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Bytes Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  auto d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace sp::crypto

@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-4). The paper's Implementation 2 hashes context answers
+// with OpenSSL's SHA-1; we reproduce it from scratch. SHA-1 is retained only
+// for fidelity to the paper — new code paths default to SHA-256/SHA3-256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  /// Finalizes and returns the 20-byte digest; the object must be reset()
+  /// before reuse.
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience.
+  static Bytes hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace sp::crypto

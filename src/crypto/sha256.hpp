@@ -1,0 +1,34 @@
+// SHA-256 (FIPS 180-4). Default hash for key derivation (K_O = H(M_O)) and
+// Schnorr signature challenges in this reproduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finish();
+
+  static Bytes hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace sp::crypto

@@ -1,0 +1,100 @@
+#include "crypto/sha3.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sp::crypto {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull, 0x8000000080008000ull,
+    0x000000000000808bull, 0x0000000080000001ull, 0x8000000080008081ull, 0x8000000000008009ull,
+    0x000000000000008aull, 0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull, 0x8000000000008003ull,
+    0x8000000000008002ull, 0x8000000000000080ull, 0x000000000000800aull, 0x800000008000000aull,
+    0x8000000080008081ull, 0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull};
+
+constexpr int kRotations[5][5] = {{0, 36, 3, 41, 18},
+                                  {1, 44, 10, 45, 2},
+                                  {62, 6, 43, 15, 61},
+                                  {28, 55, 25, 21, 56},
+                                  {27, 20, 39, 8, 14}};
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    std::uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = std::rotl(a[x + 5 * y], kRotations[x][y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+void Sha3_256::reset() {
+  state_.fill(0);
+  buffer_len_ = 0;
+}
+
+void Sha3_256::absorb_block() {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);  // little-endian host assumed (x86/ARM)
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+void Sha3_256::update(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t take = std::min(kRate - buffer_len_, data.size() - off);
+    std::memcpy(buffer_.data() + buffer_len_, data.data() + off, take);
+    buffer_len_ += take;
+    off += take;
+    if (buffer_len_ == kRate) absorb_block();
+  }
+}
+
+std::array<std::uint8_t, Sha3_256::kDigestSize> Sha3_256::finish() {
+  // Pad10*1 with SHA-3 domain separator 0x06.
+  std::memset(buffer_.data() + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] = 0x06;
+  buffer_[kRate - 1] |= 0x80;
+  buffer_len_ = kRate;
+  absorb_block();
+  std::array<std::uint8_t, kDigestSize> out{};
+  std::memcpy(out.data(), state_.data(), kDigestSize);
+  return out;
+}
+
+Bytes Sha3_256::hash(std::span<const std::uint8_t> data) {
+  Sha3_256 h;
+  h.update(data);
+  auto d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace sp::crypto

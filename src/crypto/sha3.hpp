@@ -1,0 +1,34 @@
+// SHA3-256 (FIPS 202, Keccak-f[1600] sponge). The paper's Implementation 1
+// computes all answer hashes H(a_i, K_Z) with CryptoJS's SHA-3; this is the
+// from-scratch equivalent used by Construction 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+class Sha3_256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kRate = 136;  // 1088-bit rate for 256-bit output
+
+  Sha3_256() { reset(); }
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finish();
+
+  static Bytes hash(std::span<const std::uint8_t> data);
+
+ private:
+  void absorb_block();
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, kRate> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace sp::crypto

@@ -1,0 +1,185 @@
+#include "ec/curve.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace sp::ec {
+
+Curve::Curve(CurveParams params) : params_(std::move(params)) {
+  if (!params_.fp) throw std::invalid_argument("Curve: null field");
+  if (!params_.fp->p_is_3_mod_4()) {
+    throw std::invalid_argument("Curve: y^2 = x^3 + x needs p == 3 (mod 4)");
+  }
+  if ((params_.h * params_.q) != params_.fp->p() + BigInt{1}) {
+    throw std::invalid_argument("Curve: h * q must equal p + 1");
+  }
+}
+
+Fp Curve::rhs(const Fp& x) const { return x * x * x + x; }
+
+bool Curve::on_curve(const Point& pt) const {
+  if (pt.is_infinity()) return true;
+  return pt.y() * pt.y() == rhs(pt.x());
+}
+
+Point Curve::negate(const Point& pt) const {
+  if (pt.is_infinity()) return pt;
+  return Point(pt.x(), -pt.y());
+}
+
+Point Curve::dbl(const Point& a) const {
+  if (a.is_infinity()) return a;
+  if (a.y().is_zero()) return Point{};  // order-2 point doubles to infinity
+  // λ = (3x² + 1) / 2y   (curve coefficient a = 1, b = 0)
+  const Fp three = Fp(params_.fp, BigInt{3});
+  const Fp two = Fp(params_.fp, BigInt{2});
+  const Fp one = Fp::one(params_.fp);
+  const Fp lambda = (three * a.x() * a.x() + one) * (two * a.y()).inv();
+  const Fp x3 = lambda * lambda - two * a.x();
+  const Fp y3 = lambda * (a.x() - x3) - a.y();
+  return Point(x3, y3);
+}
+
+Point Curve::add(const Point& a, const Point& b) const {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  if (a.x() == b.x()) {
+    if (a.y() == b.y()) return dbl(a);
+    return Point{};  // P + (−P) = O
+  }
+  const Fp lambda = (b.y() - a.y()) * (b.x() - a.x()).inv();
+  const Fp x3 = lambda * lambda - a.x() - b.x();
+  const Fp y3 = lambda * (a.x() - x3) - a.y();
+  return Point(x3, y3);
+}
+
+namespace {
+
+// Jacobian coordinates (X, Y, Z) with x = X/Z², y = Y/Z³ make scalar
+// multiplication division-free: affine add/dbl each cost a ~100µs modular
+// inversion, Jacobian ~10 multiplications. One inversion at the end.
+struct Jac {
+  Fp x, y, z;
+  bool inf = true;
+};
+
+Jac to_jac(const Point& p, const FpCtxPtr& f) {
+  if (p.is_infinity()) return Jac{Fp::zero(f), Fp::zero(f), Fp::zero(f), true};
+  return Jac{p.x(), p.y(), Fp::one(f), false};
+}
+
+// Doubling on y² = x³ + a·x with a = 1: M = 3X² + Z⁴.
+Jac jac_dbl(const Jac& p, const FpCtxPtr& f) {
+  if (p.inf || p.y.is_zero()) return Jac{Fp::zero(f), Fp::zero(f), Fp::zero(f), true};
+  const Fp y2 = p.y * p.y;
+  const Fp s = Fp(f, crypto::BigInt{4}) * p.x * y2;
+  const Fp z2 = p.z * p.z;
+  const Fp m = Fp(f, crypto::BigInt{3}) * p.x * p.x + z2 * z2;  // a = 1
+  const Fp x3 = m * m - s - s;
+  const Fp y3 = m * (s - x3) - Fp(f, crypto::BigInt{8}) * y2 * y2;
+  const Fp z3 = (p.y + p.y) * p.z;
+  return Jac{x3, y3, z3, false};
+}
+
+// Mixed addition: Jacobian p + affine q.
+Jac jac_add_affine(const Jac& p, const Point& q, const FpCtxPtr& f) {
+  if (q.is_infinity()) return p;
+  if (p.inf) return to_jac(q, f);
+  const Fp z2 = p.z * p.z;
+  const Fp u2 = q.x() * z2;
+  const Fp s2 = q.y() * z2 * p.z;
+  const Fp h = u2 - p.x;
+  const Fp r = s2 - p.y;
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_dbl(p, f);
+    return Jac{Fp::zero(f), Fp::zero(f), Fp::zero(f), true};  // p + (−p)
+  }
+  const Fp h2 = h * h;
+  const Fp h3 = h2 * h;
+  const Fp uh2 = p.x * h2;
+  const Fp x3 = r * r - h3 - uh2 - uh2;
+  const Fp y3 = r * (uh2 - x3) - p.y * h3;
+  const Fp z3 = p.z * h;
+  return Jac{x3, y3, z3, false};
+}
+
+Point jac_to_affine(const Jac& p, const FpCtxPtr& /*f*/) {
+  if (p.inf) return Point{};
+  const Fp zi = p.z.inv();
+  const Fp zi2 = zi * zi;
+  return Point(p.x * zi2, p.y * zi2 * zi);
+}
+
+}  // namespace
+
+Point Curve::mul(const Point& pt, const BigInt& k) const {
+  if (k.is_negative()) return mul(negate(pt), -k);
+  const auto& f = params_.fp;
+  Jac acc = to_jac(Point{}, f);  // infinity
+  const std::size_t nbits = k.bit_length();
+  for (std::size_t i = nbits; i-- > 0;) {
+    acc = jac_dbl(acc, f);
+    if (k.bit(i)) acc = jac_add_affine(acc, pt, f);
+  }
+  return jac_to_affine(acc, f);
+}
+
+Point Curve::hash_to_group(std::span<const std::uint8_t> data) const {
+  // Try-and-increment over a hash counter; then clear the cofactor to land
+  // in the order-q subgroup. Each iteration succeeds with probability ~1/2.
+  Bytes seed(data.begin(), data.end());
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes attempt = seed;
+    attempt.push_back(static_cast<std::uint8_t>(counter >> 24));
+    attempt.push_back(static_cast<std::uint8_t>(counter >> 16));
+    attempt.push_back(static_cast<std::uint8_t>(counter >> 8));
+    attempt.push_back(static_cast<std::uint8_t>(counter));
+    // Widen the digest so the reduction mod p is near-uniform.
+    Bytes wide = crypto::Sha256::hash(attempt);
+    Bytes wide2 = crypto::Sha256::hash(wide);
+    wide.insert(wide.end(), wide2.begin(), wide2.end());
+    const Fp x = Fp::from_bytes(params_.fp, wide);
+    const Fp y2 = rhs(x);
+    if (y2.is_zero()) continue;  // would yield a low-order point
+    if (y2.legendre() != 1) continue;
+    Fp y = y2.sqrt();
+    // Deterministic sign choice from the digest.
+    if ((wide2[0] & 1) == 1) y = -y;
+    const Point candidate = mul(Point(x, y), params_.h);
+    if (candidate.is_infinity()) continue;
+    return candidate;
+  }
+}
+
+Point Curve::random_group_element(crypto::Drbg& rng) const {
+  return hash_to_group(rng.bytes(32));
+}
+
+Bytes Curve::serialize(const Point& pt) const {
+  if (pt.is_infinity()) return Bytes{0x00};
+  Bytes out{0x04};
+  Bytes xb = pt.x().to_bytes();
+  Bytes yb = pt.y().to_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Point Curve::deserialize(std::span<const std::uint8_t> data) const {
+  if (data.empty()) throw std::invalid_argument("Curve::deserialize: empty");
+  if (data[0] == 0x00) {
+    if (data.size() != 1) throw std::invalid_argument("Curve::deserialize: bad infinity");
+    return Point{};
+  }
+  const std::size_t flen = params_.fp->byte_length();
+  if (data[0] != 0x04 || data.size() != 1 + 2 * flen) {
+    throw std::invalid_argument("Curve::deserialize: bad encoding");
+  }
+  Point pt(Fp::from_bytes(params_.fp, data.subspan(1, flen)),
+           Fp::from_bytes(params_.fp, data.subspan(1 + flen, flen)));
+  if (!on_curve(pt)) throw std::invalid_argument("Curve::deserialize: point not on curve");
+  return pt;
+}
+
+}  // namespace sp::ec

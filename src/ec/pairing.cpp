@@ -1,0 +1,59 @@
+#include "ec/pairing.hpp"
+
+#include <stdexcept>
+
+namespace sp::ec {
+
+using field::Fp;
+
+Fp2 Pairing::operator()(const Point& p, const Point& q) const {
+  const auto& fp = curve_->fp();
+  if (p.is_infinity() || q.is_infinity()) return Fp2::one(fp);
+  if (!curve_->on_curve(p) || !curve_->on_curve(q)) {
+    throw std::invalid_argument("Pairing: input not on curve");
+  }
+
+  // Affine Miller loop with the slope shared between the line evaluation
+  // and the point update — one field inversion per step instead of two.
+  const Fp one = Fp::one(fp);
+  const Fp two = Fp(fp, crypto::BigInt{2});
+  const Fp three = Fp(fp, crypto::BigInt{3});
+  // Line through a with slope `lambda`, evaluated at φ(Q) = (−x_q, i·y_q):
+  // value = (λ·x_q − (y_a − λ·x_a)) + i·y_q.
+  auto eval_line = [&](const Point& a, const Fp& lambda) {
+    const Fp c = a.y() - lambda * a.x();
+    return Fp2(lambda * q.x() - c, q.y());
+  };
+  const crypto::BigInt& order = curve_->order();
+  Fp2 f = Fp2::one(fp);
+  Point t = p;
+  const std::size_t nbits = order.bit_length();
+  for (std::size_t i = nbits - 1; i-- > 0;) {
+    {
+      // Tangent at T: λ = (3x² + 1) / 2y  (y ≠ 0 for odd-order points).
+      const Fp lambda = (three * t.x() * t.x() + one) * (two * t.y()).inv();
+      f = f * f * eval_line(t, lambda);
+      const Fp x3 = lambda * lambda - t.x() - t.x();
+      t = Point(x3, lambda * (t.x() - x3) - t.y());
+    }
+    if (order.bit(i)) {
+      if (t.x() == p.x()) {
+        // T = ±P: chord is vertical (value in F_p, eliminated) or tangent
+        // (cannot occur mid-loop for order-q P). Update via group law.
+        t = curve_->add(t, p);
+      } else {
+        const Fp lambda = (p.y() - t.y()) * (p.x() - t.x()).inv();
+        f = f * eval_line(t, lambda);
+        const Fp x3 = lambda * lambda - t.x() - p.x();
+        t = Point(x3, lambda * (t.x() - x3) - t.y());
+      }
+    }
+  }
+
+  // Final exponentiation: f^((p²−1)/q) = (conj(f)·f^{-1})^(h) with
+  // h = (p+1)/q, because f^p = conj(f) in F_p[i] when p ≡ 3 (mod 4).
+  const Fp2 f_p_minus_1 = f.conj() * f.inv();
+  return f_p_minus_1.pow(curve_->params().h);
+}
+
+}  // namespace sp::ec

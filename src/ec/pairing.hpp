@@ -1,0 +1,34 @@
+// Modified Tate pairing ê: G × G → F_{p²} on the supersingular curve,
+// computed as ê(P, Q) = f_{q,P}(φ(Q))^((p²−1)/q) with the distortion map
+// φ(x, y) = (−x, i·y) and Miller's algorithm.
+//
+// Denominator elimination applies: every vertical-line value lies in F_p and
+// is annihilated by the (p−1) factor of the final exponentiation, so only
+// the tangent/chord numerators are accumulated. The final exponentiation
+// uses the Frobenius shortcut f^(p−1) = conj(f) · f^{-1}.
+#pragma once
+
+#include "ec/curve.hpp"
+#include "field/fp2.hpp"
+
+namespace sp::ec {
+
+using field::Fp2;
+
+class Pairing {
+ public:
+  explicit Pairing(const Curve& curve) : curve_(&curve) {}
+
+  /// ê(P, Q). Both points must lie in the order-q subgroup; ê(P, P) ≠ 1 for
+  /// P ≠ O (the distortion map makes the "self-pairing" non-degenerate).
+  /// Returns 1 ∈ F_{p²} when either argument is infinity.
+  [[nodiscard]] Fp2 operator()(const Point& p, const Point& q) const;
+
+  /// The pairing target group's identity, for comparisons.
+  [[nodiscard]] Fp2 one() const { return Fp2::one(curve_->fp()); }
+
+ private:
+  const Curve* curve_;
+};
+
+}  // namespace sp::ec

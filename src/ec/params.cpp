@@ -1,0 +1,73 @@
+#include "ec/params.hpp"
+
+#include <stdexcept>
+
+#include "crypto/drbg.hpp"
+
+namespace sp::ec {
+
+namespace {
+
+using crypto::Bytes;
+using crypto::Drbg;
+
+BigInt random_prime(std::size_t bits, Drbg& rng) {
+  if (bits < 8) throw std::invalid_argument("random_prime: need >= 8 bits");
+  auto rand_bytes = [&rng](std::size_t n) { return rng.bytes(n); };
+  for (;;) {
+    Bytes buf = rng.bytes((bits + 7) / 8);
+    // Force exact bit length and oddness.
+    const unsigned top = static_cast<unsigned>((bits - 1) % 8);
+    buf[0] &= static_cast<std::uint8_t>((1u << (top + 1)) - 1u);
+    buf[0] |= static_cast<std::uint8_t>(1u << top);
+    buf.back() |= 1u;
+    BigInt candidate = BigInt::from_bytes(buf);
+    if (BigInt::is_probable_prime(candidate, 20, rand_bytes)) return candidate;
+  }
+}
+
+}  // namespace
+
+CurveParams generate_params(std::size_t q_bits, std::size_t p_bits, std::string_view seed) {
+  if (p_bits < q_bits + 3) throw std::invalid_argument("generate_params: p_bits too small");
+  Drbg rng(seed);
+  auto rand_bytes = [&rng](std::size_t n) { return rng.bytes(n); };
+  const BigInt q = random_prime(q_bits, rng);
+
+  // h = 4·r with random r of (p_bits − q_bits − 2) bits; p = h·q − 1.
+  const std::size_t r_bits = p_bits - q_bits - 2;
+  for (;;) {
+    Bytes buf = rng.bytes((r_bits + 7) / 8);
+    const unsigned top = static_cast<unsigned>((r_bits - 1) % 8);
+    buf[0] &= static_cast<std::uint8_t>((1u << (top + 1)) - 1u);
+    buf[0] |= static_cast<std::uint8_t>(1u << top);
+    const BigInt h = BigInt::from_bytes(buf) << 2;  // multiple of 4
+    const BigInt p = h * q - BigInt{1};
+    if (!BigInt::is_probable_prime(p, 20, rand_bytes)) continue;
+    // p = h·q − 1 with 4 | h gives p ≡ 3 (mod 4) automatically; assert anyway.
+    if ((p % BigInt{4}) != BigInt{3}) continue;
+    return CurveParams{field::make_fp(p), q, h};
+  }
+}
+
+const CurveParams& preset_params(ParamPreset preset) {
+  // Each preset is generated lazily on first use (block-scope statics), so a
+  // toy-only test run never pays for the 512-bit search.
+  switch (preset) {
+    case ParamPreset::kToy: {
+      static const CurveParams toy = generate_params(48, 96, "sp-preset-toy-v1");
+      return toy;
+    }
+    case ParamPreset::kTest: {
+      static const CurveParams test = generate_params(96, 256, "sp-preset-test-v1");
+      return test;
+    }
+    case ParamPreset::kFull: {
+      static const CurveParams full = generate_params(160, 512, "sp-preset-full-v1");
+      return full;
+    }
+  }
+  throw std::logic_error("preset_params: unknown preset");
+}
+
+}  // namespace sp::ec

@@ -1,0 +1,29 @@
+// Pairing parameter generation and presets.
+//
+// Parameters follow PBC's "Type A" recipe (what the cpabe toolkit the paper
+// uses ships with): pick a prime group order q, then search cofactors
+// h ≡ 0 (mod 4) until p = h·q − 1 is prime (then automatically p ≡ 3 mod 4
+// and #E(F_p) = p + 1 = h·q).
+//
+// Three presets trade security for speed:
+//   kToy  —  ~96-bit p:  unit tests exercising algebra exhaustively
+//   kTest — ~256-bit p:  integration tests
+//   kFull — ~512-bit p, 160-bit q: the paper's deployment scale (matches
+//            PBC a.param), used by the benchmark harness.
+#pragma once
+
+#include "ec/curve.hpp"
+
+namespace sp::ec {
+
+enum class ParamPreset { kToy, kTest, kFull };
+
+/// Deterministically generates parameters: q has `q_bits`, p has roughly
+/// `p_bits`. Everything is derived from `seed`, so runs are reproducible.
+CurveParams generate_params(std::size_t q_bits, std::size_t p_bits, std::string_view seed);
+
+/// Returns (and caches) the preset parameters. Thread-compatible: intended
+/// for single-threaded test/bench use.
+const CurveParams& preset_params(ParamPreset preset);
+
+}  // namespace sp::ec

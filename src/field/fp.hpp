@@ -1,0 +1,101 @@
+// Prime field F_p arithmetic.
+//
+// Construction 1 runs Shamir secret sharing over F_p; Construction 2's
+// pairing groups live on an elliptic curve over F_p. Elements carry a shared
+// pointer to their modulus so mixed-field operations are caught early.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sp::field {
+
+using crypto::BigInt;
+using crypto::Bytes;
+
+/// Immutable modulus context shared by all elements of one field instance.
+class FpCtx {
+ public:
+  /// p must be an odd prime (primality is the caller's responsibility; use
+  /// BigInt::is_probable_prime when constructing parameters).
+  explicit FpCtx(BigInt p);
+
+  [[nodiscard]] const BigInt& p() const { return p_; }
+  [[nodiscard]] std::size_t byte_length() const { return byte_len_; }
+  /// True when p ≡ 3 (mod 4) — enables the fast square-root path and the
+  /// i² = −1 representation of F_{p²}.
+  [[nodiscard]] bool p_is_3_mod_4() const { return p3mod4_; }
+
+  /// Barrett reduction of x in [0, p²) — division-free, precomputed μ.
+  /// Falls back to plain mod for out-of-range or negative inputs.
+  [[nodiscard]] BigInt reduce(const BigInt& x) const;
+  /// (a*b) mod p via Barrett; operands must already be reduced.
+  [[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b) const;
+  /// base^exp mod p via Barrett square-and-multiply (exp >= 0).
+  [[nodiscard]] BigInt pow_mod(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  BigInt p_;
+  BigInt mu_;             ///< floor(2^(2·shift) / p) for Barrett
+  std::size_t shift_ = 0; ///< bit shift = bit_length(p) rounded up usage
+  std::size_t byte_len_;
+  bool p3mod4_;
+};
+
+using FpCtxPtr = std::shared_ptr<const FpCtx>;
+
+/// Makes a field context; validates p > 2 and p odd.
+FpCtxPtr make_fp(BigInt p);
+
+class Fp {
+ public:
+  Fp() = default;  // "null" element; usable only after assignment
+  Fp(FpCtxPtr ctx, const BigInt& value);
+
+  /// Additive / multiplicative identities.
+  static Fp zero(const FpCtxPtr& ctx);
+  static Fp one(const FpCtxPtr& ctx);
+  /// Uniform random element.
+  static Fp random(const FpCtxPtr& ctx, crypto::Drbg& rng);
+  /// Uniform random non-zero element (for polynomial leading coefficients
+  /// and blinding factors).
+  static Fp random_nonzero(const FpCtxPtr& ctx, crypto::Drbg& rng);
+  /// Maps arbitrary bytes into the field (mod p).
+  static Fp from_bytes(const FpCtxPtr& ctx, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const BigInt& value() const { return v_; }
+  [[nodiscard]] const FpCtxPtr& ctx() const { return ctx_; }
+  [[nodiscard]] bool is_zero() const { return v_.is_zero(); }
+  /// Fixed-width big-endian encoding (ctx byte length).
+  [[nodiscard]] Bytes to_bytes() const;
+  [[nodiscard]] std::string to_string() const { return v_.to_dec(); }
+
+  friend Fp operator+(const Fp& a, const Fp& b);
+  friend Fp operator-(const Fp& a, const Fp& b);
+  friend Fp operator*(const Fp& a, const Fp& b);
+  Fp operator-() const;
+  friend bool operator==(const Fp& a, const Fp& b);
+  friend bool operator!=(const Fp& a, const Fp& b) { return !(a == b); }
+
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  [[nodiscard]] Fp inv() const;
+  /// Exponentiation by a non-negative BigInt.
+  [[nodiscard]] Fp pow(const BigInt& e) const;
+  /// Legendre symbol: +1 quadratic residue, -1 non-residue, 0 for zero.
+  [[nodiscard]] int legendre() const;
+  /// Square root (Tonelli–Shanks; fast path when p ≡ 3 mod 4). Throws
+  /// std::domain_error if no root exists. Returns the even-valued root's
+  /// canonical choice (smaller of r, p−r).
+  [[nodiscard]] Fp sqrt() const;
+
+ private:
+  void require_same_field(const Fp& other) const;
+
+  FpCtxPtr ctx_;
+  BigInt v_;  // canonical representative in [0, p)
+};
+
+}  // namespace sp::field

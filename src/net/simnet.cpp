@@ -1,0 +1,31 @@
+#include "net/simnet.hpp"
+
+#include <stdexcept>
+
+namespace sp::net {
+
+DeviceProfile pc_profile() { return DeviceProfile{"pc-quadcore-2.5ghz", 1.0}; }
+
+DeviceProfile tablet_profile() { return DeviceProfile{"nexus7-tablet", 5.0}; }
+
+LinkProfile wlan_80211n_to_ec2() {
+  // Paper: 802.11n at 60 Mbps; EC2 path adds tens of ms RTT.
+  return LinkProfile{"802.11n-60mbps-ec2", 60.0, 40.0, 8.0, 0.15};
+}
+
+LinkProfile loopback() { return LinkProfile{"loopback", 100000.0, 0.0, 0.0, 0.0}; }
+
+double Network::transfer_ms(std::size_t bytes, int round_trips) {
+  if (round_trips < 1) throw std::invalid_argument("Network::transfer_ms: round_trips >= 1");
+  const double payload_ms =
+      (static_cast<double>(bytes) * 8.0) / (link_.bandwidth_mbps * 1000.0);
+  const double base = payload_ms +
+                      round_trips * (link_.rtt_ms + link_.per_request_overhead_ms);
+  if (link_.jitter_frac <= 0.0) return base;
+  // Uniform multiplicative jitter in [1, 1 + jitter_frac) — deterministic
+  // given the seed, mirroring the paper's observed instability.
+  const double factor = 1.0 + link_.jitter_frac * rng_.uniform_real();
+  return base * factor;
+}
+
+}  // namespace sp::net

@@ -1,0 +1,59 @@
+#include "osn/service_provider.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sp::osn {
+
+std::string ServiceProvider::store_record(Bytes record) {
+  const std::string id = "puzzle-" + std::to_string(next_++);
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+const Bytes& ServiceProvider::record(const std::string& puzzle_id) const {
+  const auto it = records_.find(puzzle_id);
+  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle " + puzzle_id);
+  return it->second;
+}
+
+void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record) {
+  auto it = records_.find(puzzle_id);
+  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle " + puzzle_id);
+  it->second = std::move(record);
+}
+
+void ServiceProvider::observe(const std::string& channel, Bytes data) {
+  observations_.push_back(Observation{channel, std::move(data)});
+}
+
+namespace {
+bool contains(std::span<const std::uint8_t> haystack, std::span<const std::uint8_t> needle) {
+  if (needle.empty() || needle.size() > haystack.size()) return false;
+  return std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end()) !=
+         haystack.end();
+}
+}  // namespace
+
+bool ServiceProvider::view_contains(std::span<const std::uint8_t> needle) const {
+  for (const auto& [id, rec] : records_) {
+    if (contains(rec, needle)) return true;
+  }
+  for (const auto& obs : observations_) {
+    if (contains(obs.data, needle)) return true;
+  }
+  return false;
+}
+
+void ServiceProvider::tamper_record(const std::string& puzzle_id, std::size_t offset,
+                                    Bytes replacement) {
+  auto it = records_.find(puzzle_id);
+  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle");
+  if (offset + replacement.size() > it->second.size()) {
+    throw std::out_of_range("ServiceProvider: tamper out of range");
+  }
+  std::copy(replacement.begin(), replacement.end(),
+            it->second.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+}  // namespace sp::osn

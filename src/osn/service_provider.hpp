@@ -1,0 +1,66 @@
+// Service provider SP (paper §IV-A): hosts puzzle records, runs the
+// construction-specific DisplayPuzzle/Verify logic (installed by sp::core),
+// and — being the semi-honest party of §VI-A — records everything it sees so
+// surveillance-resistance tests can audit its view.
+//
+// The SP stores opaque byte records per puzzle id; the *meaning* of a record
+// (Construction 1 puzzle Z_O vs Construction 2 file set) belongs to sp::core.
+// This mirrors the paper's deployment, where the Amazon-EC2 app stores rows
+// in MySQL without understanding the cryptography.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::osn {
+
+using crypto::Bytes;
+
+class ServiceProvider {
+ public:
+  /// Stores a puzzle record; returns the puzzle id embedded in feed
+  /// hyperlinks. Everything in `record` becomes part of the SP's view.
+  std::string store_record(Bytes record);
+
+  [[nodiscard]] const Bytes& record(const std::string& puzzle_id) const;
+  [[nodiscard]] bool has_record(const std::string& puzzle_id) const {
+    return records_.count(puzzle_id) > 0;
+  }
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+
+  /// Replaces an existing record in place (puzzle refresh keeps its id so
+  /// existing feed hyperlinks stay valid). Throws std::out_of_range for
+  /// unknown ids.
+  void replace_record(const std::string& puzzle_id, Bytes record);
+
+  /// Appends to the SP's observation log — core calls this with every
+  /// message a user sends the SP (AnswerPuzzle responses etc.), so the
+  /// surveillance tests can scan the *complete* SP view.
+  void observe(const std::string& channel, Bytes data);
+
+  /// The SP's complete view: stored records + observed messages.
+  struct Observation {
+    std::string channel;
+    Bytes data;
+  };
+  [[nodiscard]] const std::vector<Observation>& observations() const { return observations_; }
+  /// Convenience: true iff `needle` occurs in any record or observation —
+  /// the surveillance tests assert plaintext/context never does.
+  [[nodiscard]] bool view_contains(std::span<const std::uint8_t> needle) const;
+
+  // ---- adversary surface (malicious SP, §VI-A) ----
+
+  /// Overwrites part of a stored record (e.g. URL_O or K_Z tampering).
+  void tamper_record(const std::string& puzzle_id, std::size_t offset, Bytes replacement);
+
+ private:
+  std::map<std::string, Bytes> records_;
+  std::vector<Observation> observations_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace sp::osn

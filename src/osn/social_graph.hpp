@@ -1,0 +1,74 @@
+// Simulated symmetric OSN (paper §IV-A): registered users, a symmetric
+// friendship graph (Facebook-style — "if a has b in her friend list, then b
+// has a"), and a post feed carrying the puzzle hyperlinks that Construction
+// 1/2 share to the sharer's social network S_T.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sp::osn {
+
+using UserId = std::uint64_t;
+
+struct UserProfile {
+  UserId id = 0;
+  std::string name;
+};
+
+/// Post visibility. The paper targets symmetric OSNs (Facebook) but argues
+/// directed OSNs with minimal ACLs (Twitter) "benefit even more" — there the
+/// hyperlink is public and the puzzle is the ONLY access-control layer.
+enum class Visibility { kFriends, kPublic };
+
+/// A feed entry: the hyperlink a sharer's friends see (paper Fig. 6).
+struct Post {
+  UserId author = 0;
+  std::string puzzle_id;  ///< SP-side record the hyperlink points at
+  std::string caption;
+  Visibility visibility = Visibility::kFriends;
+};
+
+class SocialGraph {
+ public:
+  /// Registers a user; names need not be unique, ids are.
+  UserId add_user(std::string name);
+
+  /// Symmetric friendship. Throws std::out_of_range for unknown users and
+  /// std::invalid_argument for self-friending.
+  void befriend(UserId a, UserId b);
+
+  [[nodiscard]] bool are_friends(UserId a, UserId b) const;
+
+  /// Directed follow edge (Twitter-style): `follower` subscribes to
+  /// `followee`'s public posts. Independent of friendship.
+  void follow(UserId follower, UserId followee);
+  [[nodiscard]] bool is_following(UserId follower, UserId followee) const;
+  [[nodiscard]] std::vector<UserId> followers_of(UserId u) const;
+  /// S_T: the sharer's social network.
+  [[nodiscard]] std::vector<UserId> friends_of(UserId u) const;
+  [[nodiscard]] const UserProfile& profile(UserId u) const;
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+  /// Posts a hyperlink to the author's profile; visible to friends only
+  /// (the paper layers Facebook privacy settings on top — modeled by the
+  /// feed_for visibility rule).
+  void post(Post p);
+  /// Posts visible to `viewer`: their own posts, friends' posts, and public
+  /// posts from accounts they follow.
+  [[nodiscard]] std::vector<Post> feed_for(UserId viewer) const;
+
+ private:
+  void require_user(UserId u) const;
+
+  std::map<UserId, UserProfile> users_;
+  std::map<UserId, std::set<UserId>> edges_;
+  std::map<UserId, std::set<UserId>> follows_;  ///< follower -> followees
+  std::vector<Post> posts_;
+  UserId next_id_ = 1;
+};
+
+}  // namespace sp::osn

@@ -1,0 +1,43 @@
+#include "osn/storage_host.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace sp::osn {
+
+std::string StorageHost::store(Bytes blob) {
+  // URL = hash of (counter || size): stable and unguessable-looking, without
+  // depending on content (two identical ciphertexts get distinct URLs).
+  Bytes seed;
+  for (int i = 7; i >= 0; --i) seed.push_back(static_cast<std::uint8_t>(next_ >> (8 * i)));
+  ++next_;
+  const std::string url = "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(seed)).substr(0, 24);
+  blobs_.emplace(url, std::move(blob));
+  return url;
+}
+
+const Bytes& StorageHost::fetch(const std::string& url) const {
+  const auto it = blobs_.find(url);
+  if (it == blobs_.end()) throw std::out_of_range("StorageHost: unknown URL " + url);
+  return it->second;
+}
+
+std::size_t StorageHost::bytes_stored() const {
+  std::size_t total = 0;
+  for (const auto& [url, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+void StorageHost::tamper(const std::string& url, std::size_t byte_index) {
+  auto it = blobs_.find(url);
+  if (it == blobs_.end()) throw std::out_of_range("StorageHost: unknown URL");
+  if (it->second.empty()) return;
+  it->second[byte_index % it->second.size()] ^= 0x01;
+}
+
+void StorageHost::remove(const std::string& url) {
+  if (blobs_.erase(url) == 0) throw std::out_of_range("StorageHost: unknown URL");
+}
+
+}  // namespace sp::osn

@@ -1,0 +1,47 @@
+// Storage service DH (paper §IV-A): logically separate from the SP, holds
+// only encrypted objects, publicly fetchable by URL. Includes the adversary
+// surface the security analysis (§VI-B) needs: an observation log (what a
+// curious DH has seen) and tamper/remove APIs (malicious-DH DoS).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::osn {
+
+using crypto::Bytes;
+
+class StorageHost {
+ public:
+  /// Stores a blob; returns its URL (URL_O in the paper). URLs are stable,
+  /// unguessable-looking identifiers.
+  std::string store(Bytes blob);
+
+  /// Fetches by URL; throws std::out_of_range for unknown URLs. Every fetch
+  /// and store is visible to the host (it *is* the host) — `observed_blobs`
+  /// exposes that view to surveillance tests.
+  [[nodiscard]] const Bytes& fetch(const std::string& url) const;
+
+  [[nodiscard]] bool exists(const std::string& url) const { return blobs_.count(url) > 0; }
+  [[nodiscard]] std::size_t object_count() const { return blobs_.size(); }
+  /// Total bytes at rest (bench reporting).
+  [[nodiscard]] std::size_t bytes_stored() const;
+
+  // ---- adversary surface (tests only; a real DH has these powers too) ----
+
+  /// Everything this host has ever seen: its complete surveillance view.
+  [[nodiscard]] const std::map<std::string, Bytes>& observed_blobs() const { return blobs_; }
+  /// Malicious DH: corrupt a stored object (flip a byte).
+  void tamper(const std::string& url, std::size_t byte_index);
+  /// Malicious DH: delete an object.
+  void remove(const std::string& url);
+
+ private:
+  std::map<std::string, Bytes> blobs_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace sp::osn

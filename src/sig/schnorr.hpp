@@ -1,0 +1,54 @@
+// Schnorr signatures over the pairing curve's order-q subgroup.
+//
+// Paper §VI: a malicious SP can mount denial-of-service by tampering with
+// URL_O, the puzzle questions, or K_Z; the proposed countermeasure is for
+// the sharer to sign those fields so receivers detect modification. This
+// module provides that signature scheme. Nonces are derived
+// deterministically (RFC 6979 style, via HMAC) so signing needs no RNG.
+#pragma once
+
+#include "ec/curve.hpp"
+
+namespace sp::sig {
+
+using crypto::BigInt;
+using crypto::Bytes;
+
+struct KeyPair {
+  BigInt secret;          ///< x ∈ Z_q
+  ec::Point public_key;   ///< g^x
+};
+
+struct Signature {
+  ec::Point r;  ///< commitment g^k
+  BigInt s;     ///< response k + e·x (mod q)
+};
+
+class Schnorr {
+ public:
+  /// `generator` must be a fixed public generator of the order-q subgroup
+  /// (conventionally Curve::hash_to_group("sp-schnorr-g")).
+  Schnorr(const ec::Curve& curve, ec::Point generator);
+
+  [[nodiscard]] KeyPair keygen(crypto::Drbg& rng) const;
+  [[nodiscard]] Signature sign(const KeyPair& kp, std::span<const std::uint8_t> msg) const;
+  [[nodiscard]] bool verify(const ec::Point& public_key, std::span<const std::uint8_t> msg,
+                            const Signature& sig) const;
+
+  /// Wire encodings (signature travels inside puzzle records).
+  [[nodiscard]] Bytes serialize(const Signature& sig) const;
+  [[nodiscard]] Signature deserialize(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] Bytes serialize_public(const ec::Point& pk) const;
+  [[nodiscard]] ec::Point deserialize_public(std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] const ec::Point& generator() const { return g_; }
+
+ private:
+  [[nodiscard]] BigInt challenge(const ec::Point& r, const ec::Point& pk,
+                                 std::span<const std::uint8_t> msg) const;
+
+  const ec::Curve* curve_;
+  ec::Point g_;
+};
+
+}  // namespace sp::sig

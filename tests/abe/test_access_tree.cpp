@@ -1,0 +1,171 @@
+#include "abe/access_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sp::abe {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> sample_qa() {
+  return {{"Where did we meet?", "paris"},
+          {"What did we eat?", "pizza"},
+          {"Who hosted?", "alice"},
+          {"Which month?", "june"}};
+}
+
+TEST(LeafAttribute, CanonicalSeparatesFields) {
+  const LeafAttribute a{"ab", "c", false};
+  const LeafAttribute b{"a", "bc", false};
+  EXPECT_NE(a.canonical(), b.canonical());
+}
+
+TEST(AccessTree, PuzzlePolicyShape) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 2);
+  EXPECT_EQ(t.root().threshold, 2u);
+  EXPECT_EQ(t.root().children.size(), 4u);
+  EXPECT_EQ(t.leaf_count(), 4u);
+  for (const auto& [id, leaf] : t.leaves()) {
+    EXPECT_TRUE(leaf->is_leaf());
+    EXPECT_FALSE(leaf->leaf->perturbed);
+  }
+}
+
+TEST(AccessTree, PuzzlePolicyRejectsBadThreshold) {
+  EXPECT_THROW(AccessTree::puzzle_policy(sample_qa(), 0), std::invalid_argument);
+  EXPECT_THROW(AccessTree::puzzle_policy(sample_qa(), 5), std::invalid_argument);
+  EXPECT_THROW(AccessTree::puzzle_policy({}, 1), std::invalid_argument);
+}
+
+TEST(AccessTree, ValidationRejectsMalformedNodes) {
+  AccessTree::Node bad_leaf;
+  bad_leaf.leaf = LeafAttribute{"q", "a", false};
+  bad_leaf.threshold = 2;
+  EXPECT_THROW(AccessTree{bad_leaf}, std::invalid_argument);
+
+  AccessTree::Node empty_internal;
+  empty_internal.threshold = 1;
+  EXPECT_THROW(AccessTree{empty_internal}, std::invalid_argument);
+
+  AccessTree::Node over_threshold;
+  AccessTree::Node child;
+  child.leaf = LeafAttribute{"q", "a", false};
+  over_threshold.children.push_back(child);
+  over_threshold.threshold = 2;
+  EXPECT_THROW(AccessTree{over_threshold}, std::invalid_argument);
+}
+
+TEST(AccessTree, SatisfiedByThreshold) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 2);
+  const std::string attr0 = LeafAttribute{"Where did we meet?", "paris", false}.canonical();
+  const std::string attr1 = LeafAttribute{"What did we eat?", "pizza", false}.canonical();
+  const std::string wrong = LeafAttribute{"Where did we meet?", "rome", false}.canonical();
+  EXPECT_FALSE(t.satisfied_by({}));
+  EXPECT_FALSE(t.satisfied_by({attr0}));
+  EXPECT_FALSE(t.satisfied_by({attr0, wrong}));
+  EXPECT_TRUE(t.satisfied_by({attr0, attr1}));
+  EXPECT_TRUE(t.satisfied_by({attr0, attr1, wrong}));
+}
+
+TEST(AccessTree, NestedTreeSatisfaction) {
+  // (2 of [leafA, leafB, (1 of [leafC, leafD])]) — general BSW07 policy.
+  AccessTree::Node inner;
+  inner.threshold = 1;
+  for (const char* a : {"c", "d"}) {
+    AccessTree::Node leaf;
+    leaf.leaf = LeafAttribute{"q", a, false};
+    inner.children.push_back(leaf);
+  }
+  AccessTree::Node root;
+  root.threshold = 2;
+  for (const char* a : {"a", "b"}) {
+    AccessTree::Node leaf;
+    leaf.leaf = LeafAttribute{"q", a, false};
+    root.children.push_back(leaf);
+  }
+  root.children.push_back(inner);
+  const AccessTree t(root);
+  EXPECT_EQ(t.leaf_count(), 4u);
+
+  auto attr = [](const char* a) { return LeafAttribute{"q", a, false}.canonical(); };
+  EXPECT_TRUE(t.satisfied_by({attr("a"), attr("b")}));
+  EXPECT_TRUE(t.satisfied_by({attr("a"), attr("c")}));
+  EXPECT_TRUE(t.satisfied_by({attr("b"), attr("d")}));
+  EXPECT_FALSE(t.satisfied_by({attr("c"), attr("d")}));  // inner counts once
+  EXPECT_FALSE(t.satisfied_by({attr("a")}));
+}
+
+TEST(AccessTree, PerturbHidesAnswers) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 2);
+  const AccessTree p = t.perturb();
+  for (const auto& [id, leaf] : p.leaves()) {
+    EXPECT_TRUE(leaf->leaf->perturbed);
+    EXPECT_EQ(leaf->leaf->answer.size(), 64u);  // hex sha256
+  }
+  // Questions survive; answers do not appear anywhere.
+  const auto wire = p.serialize();
+  const std::string as_str(wire.begin(), wire.end());
+  EXPECT_EQ(as_str.find("paris"), std::string::npos);
+  EXPECT_NE(as_str.find("Where did we meet?"), std::string::npos);
+  // Perturb is idempotent.
+  EXPECT_EQ(p.perturb(), p);
+}
+
+TEST(AccessTree, ReconstructWithCorrectAnswers) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 2);
+  const AccessTree p = t.perturb();
+  const auto [rec, count] =
+      p.reconstruct({{"Where did we meet?", "paris"}, {"What did we eat?", "pizza"}});
+  EXPECT_EQ(count, 2u);
+  std::size_t clear = 0;
+  for (const auto& [id, leaf] : rec.leaves()) {
+    if (!leaf->leaf->perturbed) ++clear;
+  }
+  EXPECT_EQ(clear, 2u);
+}
+
+TEST(AccessTree, ReconstructRejectsWrongAnswers) {
+  const AccessTree p = AccessTree::puzzle_policy(sample_qa(), 2).perturb();
+  const auto [rec, count] =
+      p.reconstruct({{"Where did we meet?", "rome"}, {"Unknown question?", "x"}});
+  EXPECT_EQ(count, 0u);
+  for (const auto& [id, leaf] : rec.leaves()) EXPECT_TRUE(leaf->leaf->perturbed);
+}
+
+TEST(AccessTree, FullReconstructRoundTripsToOriginal) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 3);
+  std::map<std::string, std::string> all;
+  for (const auto& [q, a] : sample_qa()) all[q] = a;
+  const auto [rec, count] = t.perturb().reconstruct(all);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(rec, t);
+}
+
+TEST(AccessTree, SerializeRoundTrip) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 3);
+  EXPECT_EQ(AccessTree::deserialize(t.serialize()), t);
+  const AccessTree p = t.perturb();
+  EXPECT_EQ(AccessTree::deserialize(p.serialize()), p);
+}
+
+TEST(AccessTree, DeserializeRejectsGarbage) {
+  EXPECT_THROW(AccessTree::deserialize(crypto::Bytes{}), std::invalid_argument);
+  EXPECT_THROW(AccessTree::deserialize(crypto::Bytes{0, 0, 0}), std::invalid_argument);
+  // Trailing bytes.
+  auto wire = AccessTree::puzzle_policy(sample_qa(), 1).serialize();
+  wire.push_back(0);
+  EXPECT_THROW(AccessTree::deserialize(wire), std::invalid_argument);
+}
+
+TEST(AccessTree, LeafIdsAreStableAcrossPerturb) {
+  const AccessTree t = AccessTree::puzzle_policy(sample_qa(), 2);
+  const AccessTree perturbed = t.perturb();  // leaves() returns raw pointers into the tree
+  const auto orig = t.leaves();
+  const auto pert = perturbed.leaves();
+  ASSERT_EQ(orig.size(), pert.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(orig[i].first, pert[i].first);
+    EXPECT_EQ(orig[i].second->leaf->question, pert[i].second->leaf->question);
+  }
+}
+
+}  // namespace
+}  // namespace sp::abe

@@ -1,0 +1,140 @@
+#include "core/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/context_recommender.hpp"
+
+namespace sp::core {
+namespace {
+
+Context party_context() {
+  return Context({{"Where did we meet?", "Paris"},
+                  {"What did we eat?", "pizza"},
+                  {"Who hosted?", "Alice"},
+                  {"Which month?", "June"}});
+}
+
+TEST(Context, BasicAccessors) {
+  const Context ctx = party_context();
+  EXPECT_EQ(ctx.size(), 4u);
+  EXPECT_FALSE(ctx.empty());
+  EXPECT_EQ(ctx.answer_of("Who hosted?"), "Alice");
+  EXPECT_EQ(ctx.answer_of("Unknown?"), std::nullopt);
+}
+
+TEST(Context, RejectsEmptyQuestion) {
+  Context ctx;
+  EXPECT_THROW(ctx.add("", "a"), std::invalid_argument);
+  EXPECT_THROW(Context(std::vector<ContextPair>{{"", "a"}}), std::invalid_argument);
+}
+
+TEST(Context, NormalizeAnswer) {
+  EXPECT_EQ(Context::normalize_answer("  Pizza "), "pizza");
+  EXPECT_EQ(Context::normalize_answer("PARIS"), "paris");
+  EXPECT_EQ(Context::normalize_answer(""), "");
+  EXPECT_EQ(Context::normalize_answer("  "), "");
+  EXPECT_EQ(Context::normalize_answer("two words"), "two words");
+}
+
+TEST(Knowledge, LearnAndRecall) {
+  Knowledge k;
+  k.learn("q", "a");
+  EXPECT_EQ(k.recall("q"), "a");
+  EXPECT_EQ(k.recall("other"), std::nullopt);
+}
+
+TEST(Knowledge, CorrectCountNormalizes) {
+  const Context ctx = party_context();
+  Knowledge k;
+  k.learn("Where did we meet?", "  paris");  // case/space-insensitive match
+  k.learn("What did we eat?", "sushi");      // wrong
+  EXPECT_EQ(k.correct_count(ctx), 1u);
+}
+
+TEST(Knowledge, FullKnowsEverything) {
+  const Context ctx = party_context();
+  EXPECT_EQ(Knowledge::full(ctx).correct_count(ctx), ctx.size());
+}
+
+TEST(Knowledge, PartialHasExactCorrectCount) {
+  const Context ctx = party_context();
+  crypto::Drbg rng("partial");
+  for (std::size_t correct = 0; correct <= ctx.size(); ++correct) {
+    const Knowledge k = Knowledge::partial(ctx, correct, rng);
+    EXPECT_EQ(k.correct_count(ctx), correct);
+    // Partial knowledge answers *every* question (some wrongly) — receivers
+    // always respond, they just fail verification.
+    EXPECT_EQ(k.answers().size(), ctx.size());
+  }
+  EXPECT_THROW(Knowledge::partial(ctx, 5, rng), std::invalid_argument);
+}
+
+TEST(Knowledge, PartialSelectionVaries) {
+  const Context ctx = party_context();
+  crypto::Drbg rng("vary");
+  // With 2 of 4 correct there are 6 possible subsets; 32 draws should see
+  // more than one (deterministic given the seed).
+  std::set<std::string> signatures;
+  for (int i = 0; i < 32; ++i) {
+    const Knowledge k = Knowledge::partial(ctx, 2, rng);
+    std::string sig;
+    for (const auto& p : ctx.pairs()) {
+      sig += (Context::normalize_answer(*k.recall(p.question)) ==
+              Context::normalize_answer(p.answer))
+                 ? '1'
+                 : '0';
+    }
+    signatures.insert(sig);
+  }
+  EXPECT_GT(signatures.size(), 1u);
+}
+
+TEST(ContextRecommender, RecommendsFromPopulatedFields) {
+  EventRecord event;
+  event.title = "Sarah's birthday";
+  event.venue = "Luigi's";
+  event.city = "Wichita";
+  event.month = "June";
+  event.host = "Sarah";
+  event.participants = {"Tom", "Ana"};
+  event.activities = {"karaoke"};
+  event.food = "lasagna";
+
+  const auto recs = ContextRecommender::recommend(event);
+  EXPECT_GE(recs.size(), 7u);
+  // Sorted weakest-guessability first.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].guessability, recs[i].guessability);
+  }
+  // The hardest-to-guess suggestion should not be the city.
+  EXPECT_EQ(recs.back().pair.answer, "Wichita");
+}
+
+TEST(ContextRecommender, SkipsEmptyFields) {
+  EventRecord event;
+  event.title = "t";
+  event.city = "Rome";
+  const auto recs = ContextRecommender::recommend(event);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].pair.answer, "Rome");
+}
+
+TEST(ContextRecommender, BuildContextPicksHardest) {
+  EventRecord event;
+  event.title = "trip";
+  event.city = "Rome";
+  event.month = "May";
+  event.food = "carbonara";
+  event.activities = {"hiking"};
+  const Context ctx = ContextRecommender::build_context(event, 2);
+  EXPECT_EQ(ctx.size(), 2u);
+  // Hardest two are the activity and the food, not city/month.
+  for (const auto& p : ctx.pairs()) {
+    EXPECT_NE(p.answer, "Rome");
+    EXPECT_NE(p.answer, "May");
+  }
+  EXPECT_THROW(ContextRecommender::build_context(event, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,121 @@
+// Picture-based puzzles (paper §VIII future work): image-choice questions
+// reduced to the string-answer machinery, end-to-end through Construction 1.
+#include "core/picture_puzzle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace sp::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::Drbg;
+using crypto::to_bytes;
+
+std::vector<Bytes> images(int n, const char* tag) {
+  Drbg rng(std::string("images-") + tag);
+  std::vector<Bytes> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.bytes(512));
+  return out;
+}
+
+TEST(PictureQuestion, Validation) {
+  const auto imgs = images(3, "v");
+  EXPECT_THROW(PictureQuestion("", imgs, 0), std::invalid_argument);
+  EXPECT_THROW(PictureQuestion("q", {imgs[0]}, 0), std::invalid_argument);
+  EXPECT_THROW(PictureQuestion("q", imgs, 3), std::invalid_argument);
+  std::vector<Bytes> dup = {imgs[0], imgs[0]};
+  EXPECT_THROW(PictureQuestion("q", dup, 0), std::invalid_argument);
+  std::vector<Bytes> with_empty = {imgs[0], Bytes{}};
+  EXPECT_THROW(PictureQuestion("q", with_empty, 0), std::invalid_argument);
+}
+
+TEST(PictureQuestion, AnswerIsImageHash) {
+  const auto imgs = images(3, "hash");
+  const PictureQuestion pq("Which cake?", imgs, 1);
+  const ContextPair pair = pq.to_context_pair();
+  EXPECT_EQ(pair.question, "Which cake?");
+  EXPECT_EQ(pair.answer, PictureQuestion::answer_for_image(imgs[1]));
+  EXPECT_TRUE(pair.answer.starts_with("img:"));
+}
+
+TEST(PictureQuestion, ChooseMapsToCandidates) {
+  const auto imgs = images(3, "choose");
+  const PictureQuestion pq("Which cake?", imgs, 2);
+  const auto [q, right] = pq.choose(2);
+  const auto [q2, wrong] = pq.choose(0);
+  EXPECT_EQ(q, "Which cake?");
+  EXPECT_EQ(right, pq.to_context_pair().answer);
+  EXPECT_NE(wrong, right);
+  EXPECT_THROW(pq.choose(3), std::invalid_argument);
+}
+
+TEST(PicturePuzzle, MixedContextBuilds) {
+  const PictureQuestion pq("Which cake?", images(3, "mix"), 0);
+  const Context ctx = build_picture_context({pq}, {{"Who hosted?", "alice"}});
+  EXPECT_EQ(ctx.size(), 2u);
+  EXPECT_EQ(ctx.pairs()[1].answer, "alice");
+}
+
+TEST(PicturePuzzle, EndToEndThroughConstruction1) {
+  // Two picture questions + one text question, threshold 2.
+  const auto cakes = images(4, "cakes");
+  const auto venues = images(3, "venues");
+  const PictureQuestion cake_q("Which cake was at the party?", cakes, 2);
+  const PictureQuestion venue_q("Which rooftop was it?", venues, 0);
+  const Context ctx =
+      build_picture_context({cake_q, venue_q}, {{"Who hosted?", "Sarah"}});
+
+  SessionConfig cfg;
+  cfg.pairing_preset = ec::ParamPreset::kToy;
+  cfg.seed = "picture-e2e";
+  Session session(cfg);
+  const auto sharer = session.register_user("sharer");
+  const auto guest = session.register_user("guest");
+  const auto gatecrasher = session.register_user("gatecrasher");
+  session.befriend(sharer, guest);
+  session.befriend(sharer, gatecrasher);
+
+  const Bytes album = to_bytes("the album bytes");
+  const auto receipt = session.share_c1(sharer, album, ctx, 2, 3, net::pc_profile());
+
+  // The guest remembers the right cake and the right rooftop.
+  Knowledge guest_knows;
+  guest_knows.learn(cake_q.choose(2).first, cake_q.choose(2).second);
+  guest_knows.learn(venue_q.choose(0).first, venue_q.choose(0).second);
+  AccessResult r1;
+  for (int attempt = 0; attempt < 10 && !r1.success(); ++attempt) {
+    r1 = session.access(guest, receipt.post_id, guest_knows, net::pc_profile());
+  }
+  ASSERT_TRUE(r1.success());
+  EXPECT_EQ(*r1.object, album);
+
+  // The gatecrasher picks wrong images.
+  Knowledge crash_knows;
+  crash_knows.learn(cake_q.choose(0).first, cake_q.choose(0).second);
+  crash_knows.learn(venue_q.choose(1).first, venue_q.choose(1).second);
+  const auto r2 = session.access(gatecrasher, receipt.post_id, crash_knows, net::pc_profile());
+  EXPECT_FALSE(r2.granted);
+}
+
+TEST(PicturePuzzle, WorksThroughConstruction2) {
+  const auto cakes = images(3, "c2-cakes");
+  const PictureQuestion cake_q("Which cake?", cakes, 1);
+  const Context ctx = build_picture_context({cake_q}, {{"Who hosted?", "Sarah"}});
+
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kToy));
+  const Construction2 c2(curve);
+  Drbg rng("picture-c2");
+  const auto up = c2.upload(to_bytes("obj"), ctx, 2, rng);
+
+  Knowledge knows;
+  knows.learn(cake_q.choose(1).first, cake_q.choose(1).second);
+  knows.learn("Who hosted?", "sarah");
+  const auto got = c2.access(up.ciphertext, up.public_key, up.master_key, knows, rng);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("obj"));
+}
+
+}  // namespace
+}  // namespace sp::core

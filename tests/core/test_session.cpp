@@ -1,0 +1,248 @@
+// Integration tests: both constructions end-to-end over the simulated OSN
+// (social graph + SP + DH + network model), exercising the same flow the
+// paper's Facebook prototype implements.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sp::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+Context party_context() {
+  return Context({{"Where did we meet?", "Paris"},
+                  {"What did we eat?", "pizza"},
+                  {"Who hosted?", "Alice"},
+                  {"Which month?", "June"}});
+}
+
+SessionConfig toy_config(const std::string& seed) {
+  SessionConfig cfg;
+  cfg.pairing_preset = ec::ParamPreset::kToy;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : session_(toy_config("session-tests")) {
+    sharer_ = session_.register_user("sharer");
+    friend_ = session_.register_user("friend");
+    stranger_ = session_.register_user("stranger");
+    session_.befriend(sharer_, friend_);
+  }
+
+  Session session_;
+  osn::UserId sharer_ = 0, friend_ = 0, stranger_ = 0;
+};
+
+TEST_F(SessionTest, C1ShareAndAccessByKnowledgeableFriend) {
+  const Context ctx = party_context();
+  const Bytes object = to_bytes("event photo bytes");
+  const auto receipt = session_.share_c1(sharer_, object, ctx, 2, 4, net::pc_profile());
+  EXPECT_FALSE(receipt.post_id.empty());
+  EXPECT_GT(receipt.cost.total_ms(), 0.0);
+  EXPECT_GT(receipt.cost.network_ms(), 0.0);
+
+  // Friend sees the post in their feed.
+  const auto feed = session_.feed_of(friend_);
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].puzzle_id, receipt.post_id);
+
+  const auto result =
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  EXPECT_TRUE(result.granted);
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(*result.object, object);
+  EXPECT_GT(result.cost.local_ms(), 0.0);
+  EXPECT_GT(result.cost.network_ms(), 0.0);
+}
+
+TEST_F(SessionTest, C1IgnorantFriendDenied) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("obj"), ctx, 2, 4, net::pc_profile());
+  crypto::Drbg krng("ignorant");
+  const Knowledge none = Knowledge::partial(ctx, 0, krng);
+  const auto result = session_.access(friend_, receipt.post_id, none, net::pc_profile());
+  EXPECT_FALSE(result.granted);
+  EXPECT_FALSE(result.success());
+}
+
+TEST_F(SessionTest, StrangerBlockedByOsnAcl) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("obj"), ctx, 2, 4, net::pc_profile());
+  // Paper: protection against non-friends is delegated to the OSN ACL.
+  EXPECT_THROW(
+      session_.access(stranger_, receipt.post_id, Knowledge::full(ctx), net::pc_profile()),
+      std::logic_error);
+  EXPECT_TRUE(session_.feed_of(stranger_).empty());
+}
+
+TEST_F(SessionTest, C2ShareAndAccessByKnowledgeableFriend) {
+  const Context ctx = party_context();
+  const Bytes object = to_bytes("abe-protected object");
+  const auto receipt = session_.share_c2(sharer_, object, ctx, 2, net::pc_profile());
+  const auto result =
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  EXPECT_TRUE(result.granted);
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(*result.object, object);
+}
+
+TEST_F(SessionTest, C2BelowThresholdDenied) {
+  const Context ctx = party_context();
+  const auto receipt = session_.share_c2(sharer_, to_bytes("obj"), ctx, 3, net::pc_profile());
+  crypto::Drbg krng("c2-below");
+  const Knowledge k2 = Knowledge::partial(ctx, 2, krng);
+  const auto result = session_.access(friend_, receipt.post_id, k2, net::pc_profile());
+  EXPECT_FALSE(result.granted);
+  EXPECT_FALSE(result.success());
+}
+
+TEST_F(SessionTest, UnknownPostThrows) {
+  EXPECT_THROW(session_.access(friend_, "puzzle-999", Knowledge{}, net::pc_profile()),
+               std::out_of_range);
+}
+
+TEST_F(SessionTest, SharerCanAccessOwnPost) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("mine"), ctx, 1, 4, net::pc_profile());
+  const auto result =
+      session_.access(sharer_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  EXPECT_TRUE(result.success());
+}
+
+TEST_F(SessionTest, C2CostsMoreThanC1) {
+  // The headline of Fig. 10(a)/(b): I2's four-file exchange and pairing
+  // workload dominate I1 on both axes.
+  const Context ctx = party_context();
+  const Bytes object = to_bytes("same 100-char object for both constructions, padded a bit!!");
+  const auto r1 = session_.share_c1(sharer_, object, ctx, 1, 4, net::pc_profile());
+  const auto r2 = session_.share_c2(sharer_, object, ctx, 1, net::pc_profile());
+  EXPECT_GT(r2.cost.network_ms(), r1.cost.network_ms());
+  EXPECT_GT(r2.cost.bytes_transferred(), r1.cost.bytes_transferred());
+  EXPECT_GT(r2.cost.local_ms(), r1.cost.local_ms());
+}
+
+TEST_F(SessionTest, TabletScalesLocalTimeOnly) {
+  const Context ctx = party_context();
+  const Bytes object = to_bytes("obj");
+  Session pc_session(toy_config("device-compare"));
+  const auto pc_sharer = pc_session.register_user("s");
+  Session tab_session(toy_config("device-compare"));
+  const auto tab_sharer = tab_session.register_user("s");
+
+  const auto pc = pc_session.share_c1(pc_sharer, object, ctx, 2, 4, net::pc_profile());
+  const auto tab = tab_session.share_c1(tab_sharer, object, ctx, 2, 4, net::tablet_profile());
+  // Identical seeds -> identical crypto; tablet local time is scaled up.
+  EXPECT_GT(tab.cost.local_ms(), pc.cost.local_ms());
+  EXPECT_EQ(tab.cost.bytes_transferred(), pc.cost.bytes_transferred());
+}
+
+TEST_F(SessionTest, MultipleSharesCoexist) {
+  const Context ctx1 = party_context();
+  Context ctx2;
+  ctx2.add("Project codename?", "falcon");
+  ctx2.add("Team room?", "b42");
+
+  const auto r1 = session_.share_c1(sharer_, to_bytes("one"), ctx1, 1, 4, net::pc_profile());
+  const auto r2 = session_.share_c2(sharer_, to_bytes("two"), ctx2, 2, net::pc_profile());
+  EXPECT_NE(r1.post_id, r2.post_id);
+  EXPECT_EQ(session_.feed_of(friend_).size(), 2u);
+
+  const auto a1 = session_.access(friend_, r1.post_id, Knowledge::full(ctx1), net::pc_profile());
+  const auto a2 = session_.access(friend_, r2.post_id, Knowledge::full(ctx2), net::pc_profile());
+  ASSERT_TRUE(a1.success());
+  ASSERT_TRUE(a2.success());
+  EXPECT_EQ(*a1.object, to_bytes("one"));
+  EXPECT_EQ(*a2.object, to_bytes("two"));
+}
+
+TEST_F(SessionTest, AccessWithRetriesEventuallyGrantsPartialKnowledge) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("obj"), ctx, 2, 4, net::pc_profile());
+  crypto::Drbg krng("retries");
+  const Knowledge k2 = Knowledge::partial(ctx, 2, krng);
+  // A single draw can miss the known questions; 20 draws all but surely hit.
+  const auto result =
+      session_.access_with_retries(friend_, receipt.post_id, k2, net::pc_profile(), 20);
+  EXPECT_TRUE(result.success());
+
+  // Below-threshold knowledge never succeeds, however many draws.
+  const Knowledge k1 = Knowledge::partial(ctx, 1, krng);
+  const auto denied =
+      session_.access_with_retries(friend_, receipt.post_id, k1, net::pc_profile(), 10);
+  EXPECT_FALSE(denied.granted);
+  EXPECT_THROW(
+      session_.access_with_retries(friend_, receipt.post_id, k2, net::pc_profile(), 0),
+      std::invalid_argument);
+}
+
+TEST_F(SessionTest, RefreshC1RotatesSecretsButKeepsPostId) {
+  const Context ctx = party_context();
+  const Bytes object = to_bytes("originally shared object");
+  const auto receipt =
+      session_.share_c1(sharer_, object, ctx, 2, 4, net::pc_profile());
+  ASSERT_EQ(session_.storage_host().object_count(), 1u);
+  const std::string old_url = session_.storage_host().observed_blobs().begin()->first;
+
+  const Bytes updated = to_bytes("updated object after refresh");
+  const auto refreshed =
+      session_.refresh(sharer_, receipt.post_id, updated, ctx, net::pc_profile());
+  EXPECT_EQ(refreshed.post_id, receipt.post_id);  // hyperlink unchanged
+  // Old ciphertext is gone; a new one exists at a new URL.
+  EXPECT_FALSE(session_.storage_host().exists(old_url));
+  EXPECT_EQ(session_.storage_host().object_count(), 1u);
+
+  // Receivers keep working through the same post id.
+  const auto result =
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(*result.object, updated);
+}
+
+TEST_F(SessionTest, RefreshC2Works) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c2(sharer_, to_bytes("v1"), ctx, 2, net::pc_profile());
+  const auto refreshed =
+      session_.refresh(sharer_, receipt.post_id, to_bytes("v2"), ctx, net::pc_profile());
+  EXPECT_EQ(refreshed.post_id, receipt.post_id);
+  const auto result =
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(*result.object, to_bytes("v2"));
+}
+
+TEST_F(SessionTest, RefreshRejectsNonSharerAndUnknownPost) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("obj"), ctx, 2, 4, net::pc_profile());
+  EXPECT_THROW(session_.refresh(friend_, receipt.post_id, to_bytes("x"), ctx, net::pc_profile()),
+               std::logic_error);
+  EXPECT_THROW(session_.refresh(sharer_, "puzzle-999", to_bytes("x"), ctx, net::pc_profile()),
+               std::out_of_range);
+}
+
+TEST_F(SessionTest, MaliciousDhTamperCausesDetectedFailure) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes("obj"), ctx, 1, 4, net::pc_profile());
+  // Tamper every stored object (there is exactly one).
+  for (const auto& [url, blob] : session_.storage_host().observed_blobs()) {
+    session_.storage_host().tamper(url, blob.size() / 2);
+  }
+  const auto result =
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  EXPECT_TRUE(result.granted);           // Verify succeeded at the SP
+  EXPECT_FALSE(result.object.has_value());  // but decryption detected tampering
+}
+
+}  // namespace
+}  // namespace sp::core

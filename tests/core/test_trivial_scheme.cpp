@@ -1,0 +1,83 @@
+// The §I trivial all-answers baseline: exact-knowledge receivers decrypt,
+// everyone else fails — quantifying why the threshold constructions exist.
+#include "core/trivial_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sp::core {
+namespace {
+
+using crypto::Drbg;
+using crypto::to_bytes;
+
+Context ctx4() {
+  return Context({{"q1", "a1"}, {"q2", "a2"}, {"q3", "a3"}, {"q4", "a4"}});
+}
+
+TEST(TrivialScheme, FullKnowledgeDecrypts) {
+  Drbg rng("trivial");
+  const auto object = to_bytes("the object");
+  const auto shared = TrivialScheme::share(object, ctx4(), rng);
+  const auto got = TrivialScheme::access(shared, Knowledge::full(ctx4()));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, object);
+}
+
+TEST(TrivialScheme, NormalizationApplies) {
+  Drbg rng("trivial-norm");
+  Context ctx(std::vector<ContextPair>{{"q", "Pizza"}, {"r", "PARIS"}});
+  const auto shared = TrivialScheme::share(to_bytes("x"), ctx, rng);
+  Knowledge k;
+  k.learn("q", "  pizza ");
+  k.learn("r", "paris");
+  EXPECT_TRUE(TrivialScheme::access(shared, k).has_value());
+}
+
+TEST(TrivialScheme, AnySingleWrongAnswerFails) {
+  Drbg rng("trivial-wrong");
+  const auto shared = TrivialScheme::share(to_bytes("x"), ctx4(), rng);
+  for (int wrong = 0; wrong < 4; ++wrong) {
+    Knowledge k = Knowledge::full(ctx4());
+    k.learn("q" + std::to_string(wrong + 1), "nope");
+    EXPECT_FALSE(TrivialScheme::access(shared, k).has_value()) << wrong;
+  }
+}
+
+TEST(TrivialScheme, MissingAnswerFails) {
+  Drbg rng("trivial-missing");
+  const auto shared = TrivialScheme::share(to_bytes("x"), ctx4(), rng);
+  Knowledge k;
+  k.learn("q1", "a1");
+  k.learn("q2", "a2");
+  k.learn("q3", "a3");  // three of four — no partial credit
+  EXPECT_FALSE(TrivialScheme::access(shared, k).has_value());
+}
+
+TEST(TrivialScheme, EmptyContextRejected) {
+  Drbg rng("trivial-empty");
+  EXPECT_THROW(TrivialScheme::share(to_bytes("x"), Context{}, rng), std::invalid_argument);
+}
+
+TEST(TrivialScheme, PartialKnowledgeSuccessRateIsAllOrNothing) {
+  // The measurement behind bench_baseline_success: with N = 4, success
+  // probability is 1 iff correct == 4, else 0 — versus C1/C2's threshold.
+  Drbg rng("trivial-rate");
+  const auto shared = TrivialScheme::share(to_bytes("x"), ctx4(), rng);
+  for (std::size_t correct = 0; correct <= 4; ++correct) {
+    int successes = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Knowledge k = Knowledge::partial(ctx4(), correct, rng);
+      successes += TrivialScheme::access(shared, k).has_value() ? 1 : 0;
+    }
+    EXPECT_EQ(successes, correct == 4 ? 10 : 0) << "correct=" << correct;
+  }
+}
+
+TEST(TrivialScheme, WireSizeAccounts) {
+  Drbg rng("trivial-size");
+  const auto shared = TrivialScheme::share(to_bytes("x"), ctx4(), rng);
+  EXPECT_GT(shared.wire_size(), shared.ciphertext.size());
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,126 @@
+// Wire-format robustness: deserializers face attacker-controlled bytes (the
+// SP relays them, a malicious SP can rewrite them). DRBG-driven mutation and
+// truncation sweeps must never crash — every malformed input either throws
+// std::invalid_argument or yields a value that fails downstream checks.
+#include <gtest/gtest.h>
+
+#include "abe/cpabe.hpp"
+#include "core/construction1.hpp"
+#include "core/puzzle.hpp"
+#include "ec/params.hpp"
+
+namespace sp::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::Drbg;
+using crypto::to_bytes;
+
+Bytes sample_puzzle_wire() {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kToy));
+  Construction1 c1(curve.fp(), curve);
+  sig::Schnorr schnorr(curve, curve.hash_to_group(to_bytes("sp-schnorr-g")));
+  Drbg rng("wire-puzzle");
+  const sig::KeyPair keys = schnorr.keygen(rng);
+  Context ctx;
+  for (int i = 0; i < 4; ++i) ctx.add("q" + std::to_string(i), "a" + std::to_string(i));
+  auto up = c1.upload(to_bytes("obj"), ctx, 2, 4, keys, rng);
+  up.puzzle.url = "dh://objects/x";
+  c1.sign_puzzle(up.puzzle, keys);
+  return up.puzzle.serialize();
+}
+
+TEST(WireRobustness, PuzzleSurvivesSingleByteMutations) {
+  const Bytes wire = sample_puzzle_wire();
+  Drbg rng("mutate-puzzle");
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      const Puzzle p = Puzzle::deserialize(mutated);
+      ++parsed;  // structurally valid; the signature layer catches the rest
+      (void)p;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 300);
+  EXPECT_GT(rejected, 0);  // length-prefix corruption must be caught
+}
+
+TEST(WireRobustness, PuzzleSurvivesTruncation) {
+  const Bytes wire = sample_puzzle_wire();
+  for (std::size_t len = 0; len < wire.size(); len += 3) {
+    EXPECT_THROW(Puzzle::deserialize(std::span<const std::uint8_t>(wire.data(), len)),
+                 std::invalid_argument)
+        << "length " << len;
+  }
+}
+
+TEST(WireRobustness, PuzzleSurvivesRandomGarbage) {
+  Drbg rng("garbage-puzzle");
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bytes junk = rng.bytes(1 + rng.uniform(300));
+    try {
+      (void)Puzzle::deserialize(junk);
+    } catch (const std::invalid_argument&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+TEST(WireRobustness, AccessTreeSurvivesMutationAndTruncation) {
+  std::vector<std::pair<std::string, std::string>> qa;
+  for (int i = 0; i < 5; ++i) qa.emplace_back("q" + std::to_string(i), "a" + std::to_string(i));
+  const Bytes wire = abe::AccessTree::puzzle_policy(qa, 2).serialize();
+  Drbg rng("mutate-tree");
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      (void)abe::AccessTree::deserialize(mutated);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  for (std::size_t len = 0; len < wire.size(); len += 2) {
+    EXPECT_THROW(abe::AccessTree::deserialize(std::span<const std::uint8_t>(wire.data(), len)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(WireRobustness, CpAbeArtifactsSurviveMutation) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kToy));
+  const abe::CpAbe scheme(curve);
+  Drbg rng("mutate-abe");
+  auto [pk, mk] = scheme.setup(rng);
+  std::vector<std::pair<std::string, std::string>> qa = {{"q0", "a0"}, {"q1", "a1"}};
+  auto [ct, key] = scheme.encrypt_key(pk, abe::AccessTree::puzzle_policy(qa, 1), rng);
+
+  const Bytes pk_wire = scheme.serialize(pk);
+  const Bytes ct_wire = scheme.serialize(ct);
+  for (int trial = 0; trial < 150; ++trial) {
+    Bytes m1 = pk_wire;
+    m1[rng.uniform(m1.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      (void)scheme.deserialize_public_key(m1);
+    } catch (const std::invalid_argument&) {
+    }
+    Bytes m2 = ct_wire;
+    m2[rng.uniform(m2.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      (void)scheme.deserialize_ciphertext(m2);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(WireRobustness, HugeLengthPrefixRejectedNotAllocated) {
+  // A 0xFFFFFFFF length prefix must throw, not attempt a 4 GiB allocation.
+  Bytes evil = {0xff, 0xff, 0xff, 0xff, 0x00};
+  EXPECT_THROW(Puzzle::deserialize(evil), std::invalid_argument);
+  EXPECT_THROW(abe::AccessTree::deserialize(evil), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,235 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace sp::crypto {
+namespace {
+
+std::function<Bytes(std::size_t)> rng() {
+  auto drbg = std::make_shared<Drbg>("bigint-tests");
+  return [drbg](std::size_t n) { return drbg->bytes(n); };
+}
+
+TEST(BigInt, ZeroBasics) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigInt, SmallArithmetic) {
+  EXPECT_EQ((BigInt{7} + BigInt{5}).to_dec(), "12");
+  EXPECT_EQ((BigInt{7} - BigInt{5}).to_dec(), "2");
+  EXPECT_EQ((BigInt{5} - BigInt{7}).to_dec(), "-2");
+  EXPECT_EQ((BigInt{-7} * BigInt{5}).to_dec(), "-35");
+  EXPECT_EQ((BigInt{-7} * BigInt{-5}).to_dec(), "35");
+}
+
+TEST(BigInt, Int64MinConstruction) {
+  const BigInt v{INT64_MIN};
+  EXPECT_EQ(v.to_dec(), "-9223372036854775808");
+}
+
+TEST(BigInt, DecHexRoundTrip) {
+  const char* dec = "123456789012345678901234567890123456789";
+  const BigInt v = BigInt::from_dec(dec);
+  EXPECT_EQ(v.to_dec(), dec);
+  EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+  EXPECT_EQ(BigInt::from_dec("-42").to_dec(), "-42");
+}
+
+TEST(BigInt, ParseRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_dec(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec("12a"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec("-"), std::invalid_argument);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  const Bytes be = from_hex("01ffee00aabbccdd9988776655443322");
+  const BigInt v = BigInt::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(16), be);
+  EXPECT_EQ(v.to_bytes(), be);  // minimal width drops nothing here
+  EXPECT_THROW(v.to_bytes(4), std::invalid_argument);
+  // Zero-padding on the left for wider output.
+  Bytes wide = v.to_bytes(20);
+  EXPECT_EQ(wide.size(), 20u);
+  EXPECT_EQ(Bytes(wide.begin() + 4, wide.end()), be);
+}
+
+TEST(BigInt, CompareTotalOrder) {
+  EXPECT_LT(BigInt{-5}, BigInt{-1});
+  EXPECT_LT(BigInt{-1}, BigInt{0});
+  EXPECT_LT(BigInt{0}, BigInt{1});
+  EXPECT_LT(BigInt{1}, BigInt::from_dec("18446744073709551616"));
+  EXPECT_EQ(BigInt{0}, -BigInt{0});
+}
+
+TEST(BigInt, MultiplicationKnownLarge) {
+  const BigInt a = BigInt::from_dec("340282366920938463463374607431768211456");  // 2^128
+  const BigInt b = BigInt::from_dec("18446744073709551616");                    // 2^64
+  EXPECT_EQ((a * b).to_hex(), "1" + std::string(48, '0'));                      // 2^192
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  const BigInt v = BigInt::from_hex("deadbeefcafebabe1234567890");
+  for (std::size_t s : {1u, 7u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+}
+
+TEST(BigInt, DivModEuclideanIdentity) {
+  Drbg d("divmod");
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t an = 1 + d.uniform(40);
+    const std::size_t bn = 1 + d.uniform(20);
+    BigInt a = BigInt::from_bytes(d.bytes(an));
+    BigInt b = BigInt::from_bytes(d.bytes(bn));
+    if (b.is_zero()) b = BigInt{1};
+    if (d.uniform(2)) a = -a;
+    if (d.uniform(2)) b = -b;
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    // |r| < |b| and r has dividend sign (or is zero).
+    BigInt abs_r = r.is_negative() ? -r : r;
+    BigInt abs_b = b.is_negative() ? -b : b;
+    EXPECT_LT(abs_r, abs_b);
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.is_negative(), a.is_negative());
+    }
+  }
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt{1} / BigInt{0}, std::domain_error);
+  EXPECT_THROW(BigInt{1} % BigInt{0}, std::domain_error);
+}
+
+TEST(BigInt, KnuthAddBackCase) {
+  // Crafted to exercise the rare D6 add-back branch: divisor with max top
+  // limb, dividend forcing qhat overestimate.
+  const BigInt a = BigInt::from_hex("7fffffffffffffff8000000000000000000000000000000000000000");
+  const BigInt b = BigInt::from_hex("800000000000000080000000000000000000000000000001");
+  BigInt q, r;
+  BigInt::div_mod(a, b, q, r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(BigInt, ModCanonical) {
+  const BigInt m{7};
+  EXPECT_EQ((BigInt{-1}).mod(m).to_dec(), "6");
+  EXPECT_EQ((BigInt{-14}).mod(m).to_dec(), "0");
+  EXPECT_EQ((BigInt{15}).mod(m).to_dec(), "1");
+  EXPECT_THROW(BigInt{3}.mod(BigInt{0}), std::domain_error);
+  EXPECT_THROW(BigInt{3}.mod(BigInt{-5}), std::domain_error);
+}
+
+TEST(BigInt, ModPowKnown) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt::mod_pow(BigInt{2}, BigInt{10}, BigInt{1000}).to_dec(), "24");
+  // Fermat: a^(p-1) = 1 mod p
+  const BigInt p = BigInt::from_dec("1000000007");
+  EXPECT_EQ(BigInt::mod_pow(BigInt{123456}, p - BigInt{1}, p).to_dec(), "1");
+}
+
+TEST(BigInt, ModPowLargePrimeFermat) {
+  // 256-bit prime (secp256k1 field prime).
+  const BigInt p = BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  Drbg d("fermat");
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = BigInt::from_bytes(d.bytes(31)) + BigInt{2};
+    EXPECT_EQ(BigInt::mod_pow(a, p - BigInt{1}, p), BigInt{1});
+  }
+}
+
+TEST(BigInt, ModInvRoundTrip) {
+  const BigInt p = BigInt::from_dec("1000000007");
+  Drbg d("modinv");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::from_bytes(d.bytes(12)).mod(p - BigInt{1}) + BigInt{1};
+    const BigInt inv = BigInt::mod_inv(a, p);
+    EXPECT_EQ(BigInt::mod_mul(a, inv, p), BigInt{1});
+  }
+}
+
+TEST(BigInt, ModInvNotInvertibleThrows) {
+  EXPECT_THROW(BigInt::mod_inv(BigInt{6}, BigInt{9}), std::domain_error);
+  EXPECT_THROW(BigInt::mod_inv(BigInt{0}, BigInt{7}), std::domain_error);
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt{48}, BigInt{36}).to_dec(), "12");
+  EXPECT_EQ(BigInt::gcd(BigInt{-48}, BigInt{36}).to_dec(), "12");
+  EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{0}).to_dec(), "17");
+}
+
+TEST(BigInt, RandomBelowInRange) {
+  const BigInt bound = BigInt::from_dec("1000000000000000000000");
+  auto r = rng();
+  for (int i = 0; i < 100; ++i) {
+    const BigInt v = BigInt::random_below(bound, r);
+    EXPECT_FALSE(v.is_negative());
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(BigInt, RandomBelowSmallBoundHitsAllResidues) {
+  auto r = rng();
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[BigInt::random_below(BigInt{5}, r).low_u64()] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(BigInt, MillerRabinKnownPrimes) {
+  auto r = rng();
+  EXPECT_TRUE(BigInt::is_probable_prime(BigInt{2}, 10, r));
+  EXPECT_TRUE(BigInt::is_probable_prime(BigInt{97}, 10, r));
+  EXPECT_TRUE(BigInt::is_probable_prime(BigInt::from_dec("1000000007"), 20, r));
+  const BigInt p256 = BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  EXPECT_TRUE(BigInt::is_probable_prime(p256, 10, r));
+}
+
+TEST(BigInt, MillerRabinKnownComposites) {
+  auto r = rng();
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt{1}, 10, r));
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt{561}, 20, r));   // Carmichael
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt{8911}, 20, r));  // Carmichael
+  EXPECT_FALSE(BigInt::is_probable_prime(
+      BigInt::from_dec("1000000007") * BigInt::from_dec("998244353"), 20, r));
+}
+
+// Property sweep: ring axioms on random operands of assorted widths.
+class BigIntRingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntRingProperty, AxiomsHold) {
+  Drbg d("ring-" + std::to_string(GetParam()));
+  const std::size_t width = static_cast<std::size_t>(GetParam());
+  BigInt a = BigInt::from_bytes(d.bytes(width));
+  BigInt b = BigInt::from_bytes(d.bytes(width / 2 + 1));
+  BigInt c = BigInt::from_bytes(d.bytes(width + 3));
+  if (d.uniform(2)) a = -a;
+  if (d.uniform(2)) b = -b;
+
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, BigInt{0});
+  EXPECT_EQ(a + BigInt{0}, a);
+  EXPECT_EQ(a * BigInt{1}, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntRingProperty, ::testing::Values(1, 2, 7, 8, 9, 16, 17, 31,
+                                                                       32, 33, 48, 64, 65, 100));
+
+}  // namespace
+}  // namespace sp::crypto

@@ -1,0 +1,115 @@
+// BigInt edge cases beyond the main suite: boundary shifts, aliasing-ish
+// self-operations, width-boundary encodings, and division stress around
+// limb boundaries.
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sp::crypto {
+namespace {
+
+TEST(BigIntEdges, ShiftByLimbsExactly) {
+  const BigInt v = BigInt::from_hex("deadbeef");
+  EXPECT_EQ((v << 64).to_hex(), "deadbeef0000000000000000");
+  EXPECT_EQ(((v << 64) >> 64), v);
+  EXPECT_EQ((v << 128) >> 128, v);
+  EXPECT_EQ((v >> 64).to_hex(), "0");
+  EXPECT_EQ(v << 0, v);
+  EXPECT_EQ(v >> 0, v);
+}
+
+TEST(BigIntEdges, NegativeShiftsPreserveSign) {
+  const BigInt v = BigInt::from_dec("-12345678901234567890");
+  EXPECT_TRUE((v << 10).is_negative());
+  EXPECT_TRUE((v >> 3).is_negative());
+  // Shifting a negative to zero magnitude normalizes the sign.
+  EXPECT_FALSE((BigInt{-1} >> 1).is_negative());
+  EXPECT_TRUE((BigInt{-1} >> 1).is_zero());
+}
+
+TEST(BigIntEdges, SelfOperations) {
+  BigInt v = BigInt::from_dec("98765432109876543210");
+  EXPECT_EQ(v - v, BigInt{0});
+  EXPECT_EQ((v + v).to_dec(), "197530864219753086420");
+  const BigInt sq = v * v;
+  EXPECT_EQ(sq / v, v);
+  EXPECT_EQ(sq % v, BigInt{0});
+}
+
+TEST(BigIntEdges, PowerOfTwoBoundaries) {
+  for (std::size_t bits : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    const BigInt p2 = BigInt{1} << bits;
+    EXPECT_EQ(p2.bit_length(), bits + 1);
+    EXPECT_EQ((p2 - BigInt{1}).bit_length(), bits);
+    EXPECT_EQ(p2 / (p2 - BigInt{1}), BigInt{1});
+    EXPECT_EQ(p2 % (p2 - BigInt{1}), BigInt{1});
+    EXPECT_TRUE(p2.bit(bits));
+    EXPECT_FALSE(p2.bit(bits - 1));
+    EXPECT_FALSE(p2.bit(bits + 1));
+  }
+}
+
+TEST(BigIntEdges, ToBytesWidthBoundaries) {
+  const BigInt v{0xff};
+  EXPECT_EQ(to_hex(v.to_bytes(1)), "ff");
+  EXPECT_EQ(to_hex(v.to_bytes(2)), "00ff");
+  EXPECT_EQ(to_hex(BigInt{0}.to_bytes()), "00");  // zero -> one zero byte
+  const BigInt wide = BigInt{1} << 64;
+  EXPECT_EQ(wide.to_bytes().size(), 9u);
+  EXPECT_THROW(wide.to_bytes(8), std::invalid_argument);
+}
+
+TEST(BigIntEdges, DivisorOneAndSelf) {
+  const BigInt v = BigInt::from_dec("123456789012345678901234567890");
+  EXPECT_EQ(v / BigInt{1}, v);
+  EXPECT_EQ(v % BigInt{1}, BigInt{0});
+  EXPECT_EQ(v / v, BigInt{1});
+  EXPECT_EQ(v / (v + BigInt{1}), BigInt{0});
+  EXPECT_EQ(v % (v + BigInt{1}), v);
+}
+
+TEST(BigIntEdges, DivisionNearLimbBoundaries) {
+  Drbg rng("limb-div");
+  for (int trial = 0; trial < 100; ++trial) {
+    // Divisors with top limb 0xffff... exercise the qhat clamp path.
+    Bytes top(16, 0xff);
+    Bytes rest = rng.bytes(8);
+    top.insert(top.end(), rest.begin(), rest.end());
+    const BigInt b = BigInt::from_bytes(top);
+    const BigInt a = BigInt::from_bytes(rng.bytes(40));
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+TEST(BigIntEdges, ModPowEdge) {
+  EXPECT_EQ(BigInt::mod_pow(BigInt{0}, BigInt{0}, BigInt{7}), BigInt{1});  // 0^0 := 1
+  EXPECT_EQ(BigInt::mod_pow(BigInt{5}, BigInt{1}, BigInt{7}), BigInt{5});
+  EXPECT_EQ(BigInt::mod_pow(BigInt{5}, BigInt{3}, BigInt{1}), BigInt{0});  // mod 1
+  EXPECT_THROW(BigInt::mod_pow(BigInt{2}, BigInt{-1}, BigInt{7}), std::domain_error);
+}
+
+TEST(BigIntEdges, CompareMagnitudeVsLength) {
+  // Same limb count, different top values; different limb counts.
+  const BigInt a = BigInt::from_hex("ffffffffffffffff");
+  const BigInt b = BigInt::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(-a, -b);
+  EXPECT_LT(-b, a);
+}
+
+TEST(BigIntEdges, HexDecCrossCheckRandom) {
+  Drbg rng("hexdec");
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigInt v = BigInt::from_bytes(rng.bytes(1 + rng.uniform(48)));
+    EXPECT_EQ(BigInt::from_dec(v.to_dec()), v);
+    EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+  }
+}
+
+}  // namespace
+}  // namespace sp::crypto

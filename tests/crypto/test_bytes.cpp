@@ -1,0 +1,64 @@
+#include "crypto/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sp::crypto {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) { EXPECT_THROW(from_hex("abc"), std::invalid_argument); }
+
+TEST(Bytes, HexRejectsNonHex) { EXPECT_THROW(from_hex("zz"), std::invalid_argument); }
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "social puzzle";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, XorCycleEqualLength) {
+  const Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0x55};
+  EXPECT_EQ(xor_cycle(a, b), (Bytes{0xf0, 0xf0, 0xff}));
+}
+
+TEST(Bytes, XorCycleIsInvolutionWithCycledKey) {
+  // The paper blinds a share with an answer of different length; unblinding
+  // must recover the share exactly.
+  const Bytes share = from_hex("00112233445566778899aabbccddeeff0123456789");
+  const Bytes answer = to_bytes("pizza");
+  EXPECT_EQ(xor_cycle(xor_cycle(share, answer), answer), share);
+}
+
+TEST(Bytes, XorCycleEmptyKeyIsIdentity) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_EQ(xor_cycle(a, Bytes{}), a);
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, Bytes{1, 2}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(Bytes{1, 2}, Bytes{3}), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(Bytes{}, Bytes{}), Bytes{});
+}
+
+}  // namespace
+}  // namespace sp::crypto

@@ -1,0 +1,107 @@
+// ChaCha20 RFC 8439 vector + Drbg determinism/statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sp::crypto {
+namespace {
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  ChaCha20 c(key, nonce, 1);
+  Bytes ks(64);
+  c.keystream(ks);
+  EXPECT_EQ(to_hex(ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 section 2.4.2: full plaintext encryption test.
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const Bytes pt = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  ChaCha20 c(key, nonce, 1);
+  Bytes ks(pt.size());
+  c.keystream(ks);
+  Bytes ct(pt.size());
+  for (std::size_t i = 0; i < pt.size(); ++i) ct[i] = pt[i] ^ ks[i];
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+}
+
+TEST(ChaCha20, RejectsBadParams) {
+  EXPECT_THROW(ChaCha20(Bytes(31, 0), Bytes(12, 0)), std::invalid_argument);
+  EXPECT_THROW(ChaCha20(Bytes(32, 0), Bytes(11, 0)), std::invalid_argument);
+}
+
+TEST(ChaCha20, StreamContinuity) {
+  const Bytes key(32, 3), nonce(12, 4);
+  ChaCha20 a(key, nonce);
+  Bytes whole(100);
+  a.keystream(whole);
+  ChaCha20 b(key, nonce);
+  Bytes part1(37), part2(63);
+  b.keystream(part1);
+  b.keystream(part2);
+  Bytes stitched = part1;
+  stitched.insert(stitched.end(), part2.begin(), part2.end());
+  EXPECT_EQ(whole, stitched);
+}
+
+TEST(Drbg, DeterministicForSameSeed) {
+  Drbg a("seed-x"), b("seed-x");
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Drbg, DistinctSeedsDiverge) {
+  Drbg a("seed-x"), b("seed-y");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, UniformStaysInBounds) {
+  Drbg d("bounds");
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(d.uniform(17), 17u);
+  EXPECT_THROW(d.uniform(0), std::invalid_argument);
+}
+
+TEST(Drbg, UniformCoversSmallRange) {
+  Drbg d("coverage");
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(d.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Drbg, UniformRealInUnitInterval) {
+  Drbg d("real");
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Drbg, ForkIndependence) {
+  Drbg parent("parent");
+  Drbg child1 = parent.fork("net");
+  Drbg child2 = parent.fork("net");  // same label, later position -> distinct
+  EXPECT_NE(child1.bytes(32), child2.bytes(32));
+}
+
+TEST(Drbg, ForkReproducibleFromSameParentState) {
+  Drbg p1("parent"), p2("parent");
+  Drbg c1 = p1.fork("crypto");
+  Drbg c2 = p2.fork("crypto");
+  EXPECT_EQ(c1.bytes(32), c2.bytes(32));
+}
+
+}  // namespace
+}  // namespace sp::crypto

@@ -1,0 +1,106 @@
+// AES-GCM against the NIST GCM reference test vectors (McGrew–Viega spec
+// appendix B / SP 800-38D validation set), plus tamper sweeps.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/gcm.hpp"
+
+namespace sp::crypto {
+namespace {
+
+TEST(AesGcm, NistTestCase1EmptyEverything) {
+  const Bytes key(16, 0);
+  const Bytes iv(12, 0);
+  const Bytes out = aes_gcm_encrypt(key, iv, {}, {});
+  EXPECT_EQ(to_hex(out), "58e2fccefa7e3061367f1d57a4e7455a");  // tag only
+}
+
+TEST(AesGcm, NistTestCase2SingleZeroBlock) {
+  const Bytes key(16, 0);
+  const Bytes iv(12, 0);
+  const Bytes pt(16, 0);
+  const Bytes out = aes_gcm_encrypt(key, iv, {}, pt);
+  EXPECT_EQ(to_hex(out),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, NistTestCase3FourBlocks) {
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const Bytes out = aes_gcm_encrypt(key, iv, {}, pt);
+  EXPECT_EQ(to_hex(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(AesGcm, NistTestCase4WithAad) {
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const Bytes out = aes_gcm_encrypt(key, iv, aad, pt);
+  EXPECT_EQ(to_hex(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(AesGcm, RoundTripVariousLengthsAndKeys) {
+  Drbg rng("gcm-roundtrip");
+  for (const std::size_t key_len : {16u, 24u, 32u}) {
+    for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+      const Bytes key = rng.bytes(key_len);
+      const Bytes iv = rng.bytes(12);
+      const Bytes aad = rng.bytes(len % 32);
+      const Bytes pt = rng.bytes(len);
+      const Bytes sealed = aes_gcm_encrypt(key, iv, aad, pt);
+      EXPECT_EQ(sealed.size(), pt.size() + 16);
+      EXPECT_EQ(aes_gcm_decrypt(key, iv, aad, sealed), pt) << key_len << "/" << len;
+    }
+  }
+}
+
+TEST(AesGcm, DetectsCiphertextTamper) {
+  Drbg rng("gcm-tamper");
+  const Bytes key = rng.bytes(16), iv = rng.bytes(12);
+  Bytes sealed = aes_gcm_encrypt(key, iv, {}, to_bytes("authenticated payload"));
+  for (std::size_t i = 0; i < sealed.size(); i += 5) {
+    Bytes bad = sealed;
+    bad[i] ^= 1;
+    EXPECT_THROW(aes_gcm_decrypt(key, iv, {}, bad), std::runtime_error) << i;
+  }
+}
+
+TEST(AesGcm, DetectsAadMismatch) {
+  Drbg rng("gcm-aad");
+  const Bytes key = rng.bytes(16), iv = rng.bytes(12);
+  const Bytes sealed = aes_gcm_encrypt(key, iv, to_bytes("header-v1"), to_bytes("body"));
+  EXPECT_THROW(aes_gcm_decrypt(key, iv, to_bytes("header-v2"), sealed), std::runtime_error);
+  EXPECT_EQ(aes_gcm_decrypt(key, iv, to_bytes("header-v1"), sealed), to_bytes("body"));
+}
+
+TEST(AesGcm, RejectsBadInputs) {
+  const Bytes key(16, 0);
+  EXPECT_THROW(aes_gcm_encrypt(key, Bytes(11, 0), {}, {}), std::invalid_argument);
+  EXPECT_THROW(aes_gcm_decrypt(key, Bytes(12, 0), {}, Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(aes_gcm_encrypt(Bytes(17, 0), Bytes(12, 0), {}, {}), std::invalid_argument);
+}
+
+TEST(AesGcm, DistinctIvsDistinctCiphertexts) {
+  Drbg rng("gcm-iv");
+  const Bytes key = rng.bytes(32);
+  const Bytes pt = to_bytes("same message");
+  const Bytes a = aes_gcm_encrypt(key, rng.bytes(12), {}, pt);
+  const Bytes b = aes_gcm_encrypt(key, rng.bytes(12), {}, pt);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sp::crypto

@@ -1,0 +1,52 @@
+// Smoke tests at the paper-scale (512-bit) parameters. The exhaustive
+// pairing property suite runs at toy/test sizes; this file guards the kFull
+// preset that the benchmark harness depends on.
+#include <gtest/gtest.h>
+
+#include "ec/pairing.hpp"
+#include "ec/params.hpp"
+
+namespace sp::ec {
+namespace {
+
+using crypto::BigInt;
+using crypto::Drbg;
+
+TEST(FullPreset, ParametersSatisfyInvariants) {
+  const CurveParams& p = preset_params(ParamPreset::kFull);
+  EXPECT_GE(p.fp->p().bit_length(), 505u);  // ~512-bit prime
+  EXPECT_EQ(p.q.bit_length(), 160u);        // PBC Type-A group order size
+  EXPECT_EQ(p.h * p.q, p.fp->p() + BigInt{1});
+  EXPECT_TRUE(p.fp->p_is_3_mod_4());
+  Drbg rng("full-params");
+  auto rb = [&rng](std::size_t n) { return rng.bytes(n); };
+  EXPECT_TRUE(BigInt::is_probable_prime(p.fp->p(), 10, rb));
+  EXPECT_TRUE(BigInt::is_probable_prime(p.q, 10, rb));
+}
+
+TEST(FullPreset, PairingBilinearOnce) {
+  const Curve curve(preset_params(ParamPreset::kFull));
+  const Pairing pairing(curve);
+  Drbg rng("full-pairing");
+  const Point g = curve.random_group_element(rng);
+  const BigInt a = BigInt::random_below(curve.order(), [&](std::size_t n) { return rng.bytes(n); });
+  const field::Fp2 lhs = pairing(curve.mul(g, a), g);
+  const field::Fp2 rhs = pairing(g, g).pow(a);
+  EXPECT_EQ(lhs, rhs);
+  EXPECT_FALSE(lhs.is_one());
+}
+
+TEST(FullPreset, JacobianMulMatchesAffineChain) {
+  const Curve curve(preset_params(ParamPreset::kFull));
+  Drbg rng("full-mul");
+  const Point g = curve.random_group_element(rng);
+  Point acc;
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_EQ(curve.mul(g, BigInt{k}), acc) << k;
+    acc = curve.add(acc, g);
+  }
+  EXPECT_TRUE(curve.mul(g, curve.order()).is_infinity());
+}
+
+}  // namespace
+}  // namespace sp::ec

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "osn/service_provider.hpp"
+#include "osn/social_graph.hpp"
+#include "osn/storage_host.hpp"
+
+namespace sp::osn {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+TEST(SocialGraph, SymmetricFriendship) {
+  SocialGraph g;
+  const UserId a = g.add_user("alice");
+  const UserId b = g.add_user("bob");
+  EXPECT_FALSE(g.are_friends(a, b));
+  g.befriend(a, b);
+  EXPECT_TRUE(g.are_friends(a, b));
+  EXPECT_TRUE(g.are_friends(b, a));  // paper §IV-A: symmetric OSN
+}
+
+TEST(SocialGraph, FriendsOfListsNetwork) {
+  SocialGraph g;
+  const UserId s = g.add_user("sharer");
+  std::vector<UserId> friends;
+  for (int i = 0; i < 5; ++i) {
+    friends.push_back(g.add_user("friend" + std::to_string(i)));
+    g.befriend(s, friends.back());
+  }
+  EXPECT_EQ(g.friends_of(s), friends);
+  EXPECT_EQ(g.friends_of(friends[0]), std::vector<UserId>{s});
+}
+
+TEST(SocialGraph, RejectsUnknownAndSelf) {
+  SocialGraph g;
+  const UserId a = g.add_user("alice");
+  EXPECT_THROW(g.befriend(a, 999), std::out_of_range);
+  EXPECT_THROW(g.befriend(a, a), std::invalid_argument);
+  EXPECT_THROW((void)g.profile(999), std::out_of_range);
+}
+
+TEST(SocialGraph, FeedVisibilityIsFriendsOnly) {
+  SocialGraph g;
+  const UserId sharer = g.add_user("sharer");
+  const UserId friend1 = g.add_user("friend");
+  const UserId stranger = g.add_user("stranger");
+  g.befriend(sharer, friend1);
+  g.post(Post{sharer, "puzzle-1", "party pics"});
+
+  EXPECT_EQ(g.feed_for(friend1).size(), 1u);
+  EXPECT_EQ(g.feed_for(sharer).size(), 1u);  // own posts visible
+  EXPECT_TRUE(g.feed_for(stranger).empty());
+}
+
+TEST(StorageHost, StoreFetchRoundTrip) {
+  StorageHost dh;
+  const Bytes blob = to_bytes("ciphertext bytes");
+  const std::string url = dh.store(blob);
+  EXPECT_TRUE(url.starts_with("dh://objects/"));
+  EXPECT_EQ(dh.fetch(url), blob);
+  EXPECT_TRUE(dh.exists(url));
+  EXPECT_EQ(dh.object_count(), 1u);
+  EXPECT_EQ(dh.bytes_stored(), blob.size());
+}
+
+TEST(StorageHost, DistinctUrlsForIdenticalContent) {
+  StorageHost dh;
+  const Bytes blob = to_bytes("same");
+  EXPECT_NE(dh.store(blob), dh.store(blob));
+}
+
+TEST(StorageHost, UnknownUrlThrows) {
+  StorageHost dh;
+  EXPECT_THROW((void)dh.fetch("dh://objects/nope"), std::out_of_range);
+  EXPECT_THROW(dh.remove("dh://objects/nope"), std::out_of_range);
+  EXPECT_THROW(dh.tamper("dh://objects/nope", 0), std::out_of_range);
+}
+
+TEST(StorageHost, TamperFlipsOneByte) {
+  StorageHost dh;
+  const Bytes blob = to_bytes("sensitive ciphertext");
+  const std::string url = dh.store(blob);
+  dh.tamper(url, 3);
+  const Bytes& now = dh.fetch(url);
+  EXPECT_NE(now, blob);
+  EXPECT_EQ(now.size(), blob.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < blob.size(); ++i) diffs += blob[i] != now[i];
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(StorageHost, RemoveDeletes) {
+  StorageHost dh;
+  const std::string url = dh.store(to_bytes("x"));
+  dh.remove(url);
+  EXPECT_FALSE(dh.exists(url));
+}
+
+TEST(ServiceProvider, RecordStoreAndRetrieve) {
+  ServiceProvider sp;
+  const std::string id = sp.store_record(to_bytes("puzzle record"));
+  EXPECT_TRUE(sp.has_record(id));
+  EXPECT_EQ(sp.record(id), to_bytes("puzzle record"));
+  EXPECT_EQ(sp.record_count(), 1u);
+  EXPECT_THROW((void)sp.record("puzzle-999"), std::out_of_range);
+}
+
+TEST(ServiceProvider, ObservationLogAccumulates) {
+  ServiceProvider sp;
+  sp.observe("verify", to_bytes("hash1"));
+  sp.observe("verify", to_bytes("hash2"));
+  ASSERT_EQ(sp.observations().size(), 2u);
+  EXPECT_EQ(sp.observations()[0].channel, "verify");
+}
+
+TEST(ServiceProvider, ViewContainsScansEverything) {
+  ServiceProvider sp;
+  sp.store_record(to_bytes("record with NEEDLE inside"));
+  sp.observe("ch", to_bytes("another HAYSTACK message"));
+  EXPECT_TRUE(sp.view_contains(to_bytes("NEEDLE")));
+  EXPECT_TRUE(sp.view_contains(to_bytes("HAYSTACK")));
+  EXPECT_FALSE(sp.view_contains(to_bytes("plaintext-secret")));
+  EXPECT_FALSE(sp.view_contains(to_bytes("")));  // empty needle never matches
+}
+
+TEST(ServiceProvider, TamperRewritesRecord) {
+  ServiceProvider sp;
+  const std::string id = sp.store_record(to_bytes("http://good.example/url"));
+  sp.tamper_record(id, 7, to_bytes("evil"));
+  EXPECT_EQ(crypto::to_string(sp.record(id)), "http://evil.example/url");
+  EXPECT_THROW(sp.tamper_record(id, 100, to_bytes("x")), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sp::osn

@@ -1,0 +1,99 @@
+#include "sig/schnorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ec/params.hpp"
+
+namespace sp::sig {
+namespace {
+
+using crypto::Drbg;
+using crypto::to_bytes;
+
+class SchnorrTest : public ::testing::Test {
+ protected:
+  SchnorrTest()
+      : curve_(ec::preset_params(ec::ParamPreset::kToy)),
+        scheme_(curve_, curve_.hash_to_group(to_bytes("sp-schnorr-g"))),
+        rng_("schnorr-tests") {}
+
+  ec::Curve curve_;
+  Schnorr scheme_;
+  Drbg rng_;
+};
+
+TEST_F(SchnorrTest, SignVerifyRoundTrip) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const auto msg = to_bytes("https://dh.example/objects/42 | K_Z=abcdef");
+  const Signature sig = scheme_.sign(kp, msg);
+  EXPECT_TRUE(scheme_.verify(kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, RejectsWrongMessage) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const Signature sig = scheme_.sign(kp, to_bytes("original URL"));
+  EXPECT_FALSE(scheme_.verify(kp.public_key, to_bytes("tampered URL"), sig));
+}
+
+TEST_F(SchnorrTest, RejectsWrongKey) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const KeyPair other = scheme_.keygen(rng_);
+  const auto msg = to_bytes("message");
+  const Signature sig = scheme_.sign(kp, msg);
+  EXPECT_FALSE(scheme_.verify(other.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, RejectsMalleatedSignature) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const auto msg = to_bytes("message");
+  Signature sig = scheme_.sign(kp, msg);
+  sig.s = (sig.s + crypto::BigInt{1}).mod(curve_.order());
+  EXPECT_FALSE(scheme_.verify(kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, RejectsOutOfRangeS) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const auto msg = to_bytes("message");
+  Signature sig = scheme_.sign(kp, msg);
+  sig.s = sig.s + curve_.order();  // same residue, non-canonical encoding
+  EXPECT_FALSE(scheme_.verify(kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, DeterministicNonces) {
+  // Same key + message → identical signature (RFC 6979 style); different
+  // messages → different commitments (nonce reuse would leak the key).
+  const KeyPair kp = scheme_.keygen(rng_);
+  const Signature s1 = scheme_.sign(kp, to_bytes("m1"));
+  const Signature s2 = scheme_.sign(kp, to_bytes("m1"));
+  const Signature s3 = scheme_.sign(kp, to_bytes("m2"));
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+  EXPECT_NE(s1.r, s3.r);
+}
+
+TEST_F(SchnorrTest, SerializeRoundTrip) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const auto msg = to_bytes("message");
+  const Signature sig = scheme_.sign(kp, msg);
+  const Signature back = scheme_.deserialize(scheme_.serialize(sig));
+  EXPECT_EQ(back.r, sig.r);
+  EXPECT_EQ(back.s, sig.s);
+  EXPECT_TRUE(scheme_.verify(kp.public_key, msg, back));
+}
+
+TEST_F(SchnorrTest, DeserializeRejectsBadLength) {
+  EXPECT_THROW(scheme_.deserialize(crypto::Bytes(7, 0)), std::invalid_argument);
+}
+
+TEST_F(SchnorrTest, RejectsInfinityGenerator) {
+  EXPECT_THROW(Schnorr(curve_, ec::Point{}), std::invalid_argument);
+}
+
+TEST_F(SchnorrTest, EmptyMessageSignable) {
+  const KeyPair kp = scheme_.keygen(rng_);
+  const Signature sig = scheme_.sign(kp, {});
+  EXPECT_TRUE(scheme_.verify(kp.public_key, {}, sig));
+}
+
+}  // namespace
+}  // namespace sp::sig
