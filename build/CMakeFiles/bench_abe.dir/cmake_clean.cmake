@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abe.dir/bench/bench_abe.cpp.o"
+  "CMakeFiles/bench_abe.dir/bench/bench_abe.cpp.o.d"
+  "bench/bench_abe"
+  "bench/bench_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

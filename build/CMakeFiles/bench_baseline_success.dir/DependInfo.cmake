@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_baseline_success.cpp" "CMakeFiles/bench_baseline_success.dir/bench/bench_baseline_success.cpp.o" "gcc" "CMakeFiles/bench_baseline_success.dir/bench/bench_baseline_success.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/sp_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/sp_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/sp_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sp_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sp_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sp_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

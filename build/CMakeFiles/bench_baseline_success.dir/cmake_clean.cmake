@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_success.dir/bench/bench_baseline_success.cpp.o"
+  "CMakeFiles/bench_baseline_success.dir/bench/bench_baseline_success.cpp.o.d"
+  "bench/bench_baseline_success"
+  "bench/bench_baseline_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

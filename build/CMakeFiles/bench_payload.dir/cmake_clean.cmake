@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payload.dir/bench/bench_payload.cpp.o"
+  "CMakeFiles/bench_payload.dir/bench/bench_payload.cpp.o.d"
+  "bench/bench_payload"
+  "bench/bench_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

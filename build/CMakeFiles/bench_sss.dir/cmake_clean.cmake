@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sss.dir/bench/bench_sss.cpp.o"
+  "CMakeFiles/bench_sss.dir/bench/bench_sss.cpp.o.d"
+  "bench/bench_sss"
+  "bench/bench_sss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

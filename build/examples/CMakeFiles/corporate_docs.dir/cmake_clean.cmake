@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_docs.dir/corporate_docs.cpp.o"
+  "CMakeFiles/corporate_docs.dir/corporate_docs.cpp.o.d"
+  "corporate_docs"
+  "corporate_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

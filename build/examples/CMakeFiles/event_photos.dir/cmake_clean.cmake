@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_photos.dir/event_photos.cpp.o"
+  "CMakeFiles/event_photos.dir/event_photos.cpp.o.d"
+  "event_photos"
+  "event_photos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_photos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

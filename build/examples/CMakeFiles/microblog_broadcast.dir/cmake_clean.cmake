@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microblog_broadcast.dir/microblog_broadcast.cpp.o"
+  "CMakeFiles/microblog_broadcast.dir/microblog_broadcast.cpp.o.d"
+  "microblog_broadcast"
+  "microblog_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microblog_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_cli.dir/sp_cli.cpp.o"
+  "CMakeFiles/sp_cli.dir/sp_cli.cpp.o.d"
+  "sp_cli"
+  "sp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

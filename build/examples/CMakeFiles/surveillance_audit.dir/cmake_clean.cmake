@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_audit.dir/surveillance_audit.cpp.o"
+  "CMakeFiles/surveillance_audit.dir/surveillance_audit.cpp.o.d"
+  "surveillance_audit"
+  "surveillance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

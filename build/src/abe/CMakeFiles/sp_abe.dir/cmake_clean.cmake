@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_abe.dir/access_tree.cpp.o"
+  "CMakeFiles/sp_abe.dir/access_tree.cpp.o.d"
+  "CMakeFiles/sp_abe.dir/cpabe.cpp.o"
+  "CMakeFiles/sp_abe.dir/cpabe.cpp.o.d"
+  "libsp_abe.a"
+  "libsp_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

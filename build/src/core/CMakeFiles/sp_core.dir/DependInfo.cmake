@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/construction1.cpp" "src/core/CMakeFiles/sp_core.dir/construction1.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/construction1.cpp.o.d"
+  "/root/repo/src/core/construction2.cpp" "src/core/CMakeFiles/sp_core.dir/construction2.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/construction2.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/sp_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/context_recommender.cpp" "src/core/CMakeFiles/sp_core.dir/context_recommender.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/context_recommender.cpp.o.d"
+  "/root/repo/src/core/picture_puzzle.cpp" "src/core/CMakeFiles/sp_core.dir/picture_puzzle.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/picture_puzzle.cpp.o.d"
+  "/root/repo/src/core/puzzle.cpp" "src/core/CMakeFiles/sp_core.dir/puzzle.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/puzzle.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/sp_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/trivial_scheme.cpp" "src/core/CMakeFiles/sp_core.dir/trivial_scheme.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/trivial_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sp_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sp_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/sp_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/sp_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/sp_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sp_osn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/construction1.cpp.o"
+  "CMakeFiles/sp_core.dir/construction1.cpp.o.d"
+  "CMakeFiles/sp_core.dir/construction2.cpp.o"
+  "CMakeFiles/sp_core.dir/construction2.cpp.o.d"
+  "CMakeFiles/sp_core.dir/context.cpp.o"
+  "CMakeFiles/sp_core.dir/context.cpp.o.d"
+  "CMakeFiles/sp_core.dir/context_recommender.cpp.o"
+  "CMakeFiles/sp_core.dir/context_recommender.cpp.o.d"
+  "CMakeFiles/sp_core.dir/picture_puzzle.cpp.o"
+  "CMakeFiles/sp_core.dir/picture_puzzle.cpp.o.d"
+  "CMakeFiles/sp_core.dir/puzzle.cpp.o"
+  "CMakeFiles/sp_core.dir/puzzle.cpp.o.d"
+  "CMakeFiles/sp_core.dir/session.cpp.o"
+  "CMakeFiles/sp_core.dir/session.cpp.o.d"
+  "CMakeFiles/sp_core.dir/trivial_scheme.cpp.o"
+  "CMakeFiles/sp_core.dir/trivial_scheme.cpp.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

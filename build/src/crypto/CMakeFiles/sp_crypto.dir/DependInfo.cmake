@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/base64.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/base64.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/base64.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/gcm.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/gcm.cpp.o.d"
+  "/root/repo/src/crypto/gibberish.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/gibberish.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/gibberish.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/md5.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/md5.cpp.o.d"
+  "/root/repo/src/crypto/modes.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/modes.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/modes.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha3.cpp" "src/crypto/CMakeFiles/sp_crypto.dir/sha3.cpp.o" "gcc" "src/crypto/CMakeFiles/sp_crypto.dir/sha3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

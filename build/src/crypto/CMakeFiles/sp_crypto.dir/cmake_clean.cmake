@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sp_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/base64.cpp.o"
+  "CMakeFiles/sp_crypto.dir/base64.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/sp_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/sp_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/sp_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/sp_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/sp_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/gibberish.cpp.o"
+  "CMakeFiles/sp_crypto.dir/gibberish.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sp_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/md5.cpp.o"
+  "CMakeFiles/sp_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/modes.cpp.o"
+  "CMakeFiles/sp_crypto.dir/modes.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/sp_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sp_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/sp_crypto.dir/sha3.cpp.o"
+  "CMakeFiles/sp_crypto.dir/sha3.cpp.o.d"
+  "libsp_crypto.a"
+  "libsp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

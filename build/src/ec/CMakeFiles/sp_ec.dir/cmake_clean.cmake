@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_ec.dir/curve.cpp.o"
+  "CMakeFiles/sp_ec.dir/curve.cpp.o.d"
+  "CMakeFiles/sp_ec.dir/pairing.cpp.o"
+  "CMakeFiles/sp_ec.dir/pairing.cpp.o.d"
+  "CMakeFiles/sp_ec.dir/params.cpp.o"
+  "CMakeFiles/sp_ec.dir/params.cpp.o.d"
+  "libsp_ec.a"
+  "libsp_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_field.dir/fp.cpp.o"
+  "CMakeFiles/sp_field.dir/fp.cpp.o.d"
+  "CMakeFiles/sp_field.dir/fp2.cpp.o"
+  "CMakeFiles/sp_field.dir/fp2.cpp.o.d"
+  "libsp_field.a"
+  "libsp_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osn/service_provider.cpp" "src/osn/CMakeFiles/sp_osn.dir/service_provider.cpp.o" "gcc" "src/osn/CMakeFiles/sp_osn.dir/service_provider.cpp.o.d"
+  "/root/repo/src/osn/social_graph.cpp" "src/osn/CMakeFiles/sp_osn.dir/social_graph.cpp.o" "gcc" "src/osn/CMakeFiles/sp_osn.dir/social_graph.cpp.o.d"
+  "/root/repo/src/osn/storage_host.cpp" "src/osn/CMakeFiles/sp_osn.dir/storage_host.cpp.o" "gcc" "src/osn/CMakeFiles/sp_osn.dir/storage_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

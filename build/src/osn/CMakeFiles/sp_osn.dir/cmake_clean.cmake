@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_osn.dir/service_provider.cpp.o"
+  "CMakeFiles/sp_osn.dir/service_provider.cpp.o.d"
+  "CMakeFiles/sp_osn.dir/social_graph.cpp.o"
+  "CMakeFiles/sp_osn.dir/social_graph.cpp.o.d"
+  "CMakeFiles/sp_osn.dir/storage_host.cpp.o"
+  "CMakeFiles/sp_osn.dir/storage_host.cpp.o.d"
+  "libsp_osn.a"
+  "libsp_osn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_osn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

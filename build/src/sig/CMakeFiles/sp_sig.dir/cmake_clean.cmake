@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_sig.dir/schnorr.cpp.o"
+  "CMakeFiles/sp_sig.dir/schnorr.cpp.o.d"
+  "libsp_sig.a"
+  "libsp_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

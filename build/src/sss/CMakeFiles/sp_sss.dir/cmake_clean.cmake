@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_sss.dir/shamir.cpp.o"
+  "CMakeFiles/sp_sss.dir/shamir.cpp.o.d"
+  "libsp_sss.a"
+  "libsp_sss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

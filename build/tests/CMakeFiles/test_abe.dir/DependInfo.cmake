@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abe/test_access_tree.cpp" "tests/CMakeFiles/test_abe.dir/abe/test_access_tree.cpp.o" "gcc" "tests/CMakeFiles/test_abe.dir/abe/test_access_tree.cpp.o.d"
+  "/root/repo/tests/abe/test_cpabe.cpp" "tests/CMakeFiles/test_abe.dir/abe/test_cpabe.cpp.o" "gcc" "tests/CMakeFiles/test_abe.dir/abe/test_cpabe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abe/CMakeFiles/sp_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sp_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sp_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

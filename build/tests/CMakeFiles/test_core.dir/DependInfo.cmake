@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_construction1.cpp" "tests/CMakeFiles/test_core.dir/core/test_construction1.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_construction1.cpp.o.d"
+  "/root/repo/tests/core/test_construction2.cpp" "tests/CMakeFiles/test_core.dir/core/test_construction2.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_construction2.cpp.o.d"
+  "/root/repo/tests/core/test_context.cpp" "tests/CMakeFiles/test_core.dir/core/test_context.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_context.cpp.o.d"
+  "/root/repo/tests/core/test_cost_accounting.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_accounting.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_accounting.cpp.o.d"
+  "/root/repo/tests/core/test_directed_osn.cpp" "tests/CMakeFiles/test_core.dir/core/test_directed_osn.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_directed_osn.cpp.o.d"
+  "/root/repo/tests/core/test_picture_puzzle.cpp" "tests/CMakeFiles/test_core.dir/core/test_picture_puzzle.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_picture_puzzle.cpp.o.d"
+  "/root/repo/tests/core/test_security.cpp" "tests/CMakeFiles/test_core.dir/core/test_security.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_security.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_trivial_scheme.cpp" "tests/CMakeFiles/test_core.dir/core/test_trivial_scheme.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trivial_scheme.cpp.o.d"
+  "/root/repo/tests/core/test_wire_robustness.cpp" "tests/CMakeFiles/test_core.dir/core/test_wire_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_wire_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/sp_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/sp_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/sp_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sp_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sp_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sp_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_construction1.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_construction1.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_construction2.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_construction2.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_context.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_context.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_accounting.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_accounting.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_directed_osn.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_directed_osn.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_picture_puzzle.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_picture_puzzle.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_security.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_security.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trivial_scheme.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trivial_scheme.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wire_robustness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wire_robustness.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_aes_modes.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes_modes.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes_modes.cpp.o.d"
+  "/root/repo/tests/crypto/test_bigint.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bigint.cpp.o.d"
+  "/root/repo/tests/crypto/test_bigint_edges.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_bigint_edges.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bigint_edges.cpp.o.d"
+  "/root/repo/tests/crypto/test_bytes.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bytes.cpp.o.d"
+  "/root/repo/tests/crypto/test_chacha_drbg.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha_drbg.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha_drbg.cpp.o.d"
+  "/root/repo/tests/crypto/test_gcm.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_gcm.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_gcm.cpp.o.d"
+  "/root/repo/tests/crypto/test_gibberish.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_gibberish.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_gibberish.cpp.o.d"
+  "/root/repo/tests/crypto/test_hash.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_hash.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/sp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

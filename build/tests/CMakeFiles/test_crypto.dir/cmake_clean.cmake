@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes_modes.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes_modes.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bigint.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bigint.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bigint_edges.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bigint_edges.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bytes.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bytes.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha_drbg.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha_drbg.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_gcm.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_gcm.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_gibberish.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_gibberish.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hash.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hash.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

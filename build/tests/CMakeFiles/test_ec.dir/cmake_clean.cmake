@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec.dir/ec/test_curve.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/test_curve.cpp.o.d"
+  "CMakeFiles/test_ec.dir/ec/test_pairing.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/test_pairing.cpp.o.d"
+  "CMakeFiles/test_ec.dir/ec/test_pairing_full.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/test_pairing_full.cpp.o.d"
+  "test_ec"
+  "test_ec.pdb"
+  "test_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osn.dir/osn/test_osn.cpp.o"
+  "CMakeFiles/test_osn.dir/osn/test_osn.cpp.o.d"
+  "test_osn"
+  "test_osn.pdb"
+  "test_osn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

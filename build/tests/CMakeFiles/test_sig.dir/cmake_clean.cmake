@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sig.dir/sig/test_schnorr.cpp.o"
+  "CMakeFiles/test_sig.dir/sig/test_schnorr.cpp.o.d"
+  "test_sig"
+  "test_sig.pdb"
+  "test_sig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

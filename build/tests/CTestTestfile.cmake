@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_sig[1]_include.cmake")
+include("/root/repo/build/tests/test_sss[1]_include.cmake")
+include("/root/repo/build/tests/test_abe[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_osn[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
