@@ -147,7 +147,7 @@ std::pair<AccessTree, std::size_t> AccessTree::reconstruct(
       LeafAttribute attr = *node.leaf;
       if (attr.perturbed) {
         auto it = claimed_answers.find(attr.question);
-        if (it != claimed_answers.end() && hash_answer(it->second) == attr.answer) {
+        if (it != claimed_answers.end() && crypto::ct_equal(hash_answer(it->second), attr.answer)) {
           attr.answer = it->second;
           attr.perturbed = false;
           ++recovered;

@@ -65,10 +65,10 @@ const ec::Point& CpAbe::generator() const {
 }
 
 ec::Point CpAbe::hash_attr(const std::string& attribute) const {
-  Bytes tagged = crypto::to_bytes("sp-cpabe-attr");
+  Bytes labeled = crypto::to_bytes("sp-cpabe-attr");
   Bytes attr = crypto::to_bytes(attribute);
-  tagged.insert(tagged.end(), attr.begin(), attr.end());
-  return curve_->hash_to_group(tagged);
+  labeled.insert(labeled.end(), attr.begin(), attr.end());
+  return curve_->hash_to_group(labeled);
 }
 
 std::pair<PublicKey, MasterKey> CpAbe::setup(crypto::Drbg& rng) const {

@@ -16,16 +16,25 @@ Construction1::Construction1(field::FpCtxPtr field, const ec::Curve& sig_curve)
       shamir_(field_),
       schnorr_(sig_curve, sig_curve.hash_to_group(crypto::to_bytes("sp-schnorr-g"))) {}
 
-Bytes Construction1::derive_object_key(const BigInt& m_o, const field::FpCtxPtr& field) {
+crypto::SecretBytes Construction1::derive_object_key(const BigInt& m_o,
+                                                     const field::FpCtxPtr& field) {
   // K_O = H(M_O) (paper); fixed-width encoding so leading zeros don't alias.
-  return crypto::Sha256::hash(m_o.to_bytes(field->byte_length()));
+  Bytes m_bytes = m_o.to_bytes(field->byte_length());
+  crypto::SecretBytes k_o{crypto::Sha256::hash(m_bytes)};
+  crypto::secure_wipe(m_bytes);
+  return k_o;
 }
 
 Bytes Construction1::answer_hash(const std::string& answer, const Bytes& puzzle_key) {
-  Bytes input = crypto::to_bytes(Context::normalize_answer(answer));
+  std::string normalized = Context::normalize_answer(answer);
+  Bytes input = crypto::to_bytes(normalized);
   input.push_back(0x1f);
   input.insert(input.end(), puzzle_key.begin(), puzzle_key.end());
-  return crypto::Sha3_256::hash(input);
+  Bytes digest = crypto::Sha3_256::hash(input);
+  // The hash input embeds the cleartext answer and K_Z.
+  crypto::secure_wipe(input);
+  crypto::secure_wipe(normalized);
+  return digest;
 }
 
 Construction1::UploadResult Construction1::upload(std::span<const std::uint8_t> object,
@@ -39,17 +48,18 @@ Construction1::UploadResult Construction1::upload(std::span<const std::uint8_t> 
 
   // Object-specific secret M_O = P(0), chosen uniformly at random.
   auto rb = [&rng](std::size_t len) { return rng.bytes(len); };
-  const BigInt m_o = BigInt::random_below(field_->p(), rb);
-  const Bytes k_o = derive_object_key(m_o, field_);
+  BigInt m_o = BigInt::random_below(field_->p(), rb);
+  const crypto::SecretBytes k_o = derive_object_key(m_o, field_);
 
   // O_{K_O} = E(O, K_O): authenticated AES envelope (the paper uses raw
   // AES-CBC; authentication lets wrong keys fail loudly instead of
   // producing garbage).
   const Bytes iv = rng.bytes(16);
-  Bytes encrypted = crypto::seal(k_o, iv, object);
+  Bytes encrypted = crypto::seal(k_o.span(), iv, object);
 
-  // n shares of M_O.
+  // n shares of M_O. The sharer is done with the secret itself after this.
   const auto shares = shamir_.split(m_o, k, n, rng);
+  m_o.wipe();
 
   Puzzle puzzle;
   puzzle.threshold = k;
@@ -59,9 +69,12 @@ Construction1::UploadResult Construction1::upload(std::span<const std::uint8_t> 
     PuzzleEntry entry;
     entry.question = pair.question;
     entry.answer_hash = answer_hash(pair.answer, puzzle.puzzle_key);
-    const Bytes share_wire = shamir_.serialize(shares[i]);
-    const Bytes answer_bytes = crypto::to_bytes(Context::normalize_answer(pair.answer));
+    Bytes share_wire = shamir_.serialize(shares[i]);
+    Bytes answer_bytes = crypto::to_bytes(Context::normalize_answer(pair.answer));
     entry.blinded_share = crypto::xor_cycle(share_wire, answer_bytes);
+    // The unblinded share and cleartext answer must not outlive the loop.
+    crypto::secure_wipe(share_wire);
+    crypto::secure_wipe(answer_bytes);
     puzzle.entries.push_back(std::move(entry));
   }
   // The signature binds URL_O, which the caller only learns after storing
@@ -182,13 +195,16 @@ std::optional<Bytes> Construction1::access(const Puzzle& puzzle, const Challenge
     }
     const auto answer = knowledge.recall(question);
     if (!answer) return std::nullopt;  // SP granted an index we can't unblind
-    const Bytes answer_bytes = crypto::to_bytes(Context::normalize_answer(*answer));
-    const Bytes share_wire = crypto::xor_cycle(granted.blinded_share, answer_bytes);
+    Bytes answer_bytes = crypto::to_bytes(Context::normalize_answer(*answer));
+    Bytes share_wire = crypto::xor_cycle(granted.blinded_share, answer_bytes);
+    crypto::secure_wipe(answer_bytes);
     try {
       shares.push_back(shamir_.deserialize(share_wire));
     } catch (const std::invalid_argument&) {
+      crypto::secure_wipe(share_wire);
       return std::nullopt;
     }
+    crypto::secure_wipe(share_wire);
   }
   if (shares.size() < puzzle.threshold) return std::nullopt;
   BigInt m_o;
@@ -197,9 +213,14 @@ std::optional<Bytes> Construction1::access(const Puzzle& puzzle, const Challenge
   } catch (const std::invalid_argument&) {
     return std::nullopt;
   }
-  const Bytes k_o = derive_object_key(m_o, field_);
+  const crypto::SecretBytes k_o = derive_object_key(m_o, field_);
+  m_o.wipe();
+  for (sss::Share& s : shares) {
+    s.x.wipe();
+    s.y.wipe();
+  }
   try {
-    return crypto::open(k_o, encrypted_object);
+    return crypto::open(k_o.span(), encrypted_object);
   } catch (const std::runtime_error&) {
     return std::nullopt;  // wrong key (bad answers) or tampered object
   }

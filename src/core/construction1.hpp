@@ -13,6 +13,7 @@
 
 #include "core/context.hpp"
 #include "core/puzzle.hpp"
+#include "crypto/secret.hpp"
 #include "ec/curve.hpp"
 #include "sig/schnorr.hpp"
 #include "sss/shamir.hpp"
@@ -104,8 +105,10 @@ class Construction1 {
   [[nodiscard]] const field::FpCtxPtr& field() const { return field_; }
 
  private:
-  [[nodiscard]] static Bytes derive_object_key(const crypto::BigInt& m_o,
-                                               const field::FpCtxPtr& field);
+  /// K_O = H(M_O). Wipes the fixed-width encoding of M_O it hashes; the
+  /// caller owns wiping m_o itself (BigInt::wipe) once done with it.
+  [[nodiscard]] static crypto::SecretBytes derive_object_key(const crypto::BigInt& m_o,
+                                                             const field::FpCtxPtr& field);
 
   field::FpCtxPtr field_;
   sss::Shamir shamir_;

@@ -144,8 +144,8 @@ Construction2::VerifyReply Construction2::verify(const abe::AccessTree& perturbe
   std::size_t matches = 0;
   for (std::size_t i = 0; i < challenge.questions.size(); ++i) {
     for (const auto& [id, leaf] : leaves) {
-      if (leaf->leaf->question == challenge.questions[i] &&
-          leaf->leaf->perturbed && leaf->leaf->answer == response.answer_hashes[i]) {
+      if (leaf->leaf->question == challenge.questions[i] && leaf->leaf->perturbed &&
+          crypto::ct_equal(leaf->leaf->answer, response.answer_hashes[i])) {
         ++matches;
         break;
       }

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
+
 namespace sp::core {
 
 Context::Context(std::vector<ContextPair> pairs) : pairs_(std::move(pairs)) {
@@ -20,7 +22,8 @@ void Context::add(std::string question, std::string answer) {
 
 std::optional<std::string> Context::answer_of(const std::string& question) const {
   for (const auto& p : pairs_) {
-    if (p.question == question) return p.answer;
+    if (p.question != question) continue;
+    return p.answer;
   }
   return std::nullopt;
 }
@@ -51,7 +54,15 @@ std::size_t Knowledge::correct_count(const Context& ctx) const {
   std::size_t n = 0;
   for (const auto& p : ctx.pairs()) {
     const auto mine = recall(p.question);
-    if (mine && Context::normalize_answer(*mine) == Context::normalize_answer(p.answer)) ++n;
+    if (!mine) continue;
+    // Compare normalized answers in constant time: even receiver-local code
+    // should never branch byte-by-byte on answer content, and the secret
+    // lint holds every answer comparison to the same bar.
+    std::string a = Context::normalize_answer(*mine);
+    std::string b = Context::normalize_answer(p.answer);
+    if (crypto::ct_equal(std::string_view{a}, std::string_view{b})) ++n;
+    crypto::secure_wipe(a);
+    crypto::secure_wipe(b);
   }
   return n;
 }

@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/modes.hpp"
+#include "crypto/secret.hpp"
 
 namespace sp::core {
 
@@ -19,15 +20,18 @@ Bytes TrivialScheme::derive_key(const std::vector<std::string>& questions,
   Bytes ikm;
   for (std::size_t i = 0; i < questions.size(); ++i) {
     const Bytes q = crypto::to_bytes(questions[i]);
-    const Bytes a = crypto::to_bytes(Context::normalize_answer(answers[i]));
+    Bytes a = crypto::to_bytes(Context::normalize_answer(answers[i]));
     ikm.push_back(static_cast<std::uint8_t>(q.size() >> 8));
     ikm.push_back(static_cast<std::uint8_t>(q.size()));
     ikm.insert(ikm.end(), q.begin(), q.end());
     ikm.push_back(static_cast<std::uint8_t>(a.size() >> 8));
     ikm.push_back(static_cast<std::uint8_t>(a.size()));
     ikm.insert(ikm.end(), a.begin(), a.end());
+    crypto::secure_wipe(a);
   }
-  return crypto::hkdf(ikm, salt, crypto::to_bytes("sp-trivial-scheme"), 32);
+  Bytes okm = crypto::hkdf(ikm, salt, crypto::to_bytes("sp-trivial-scheme"), 32);
+  crypto::secure_wipe(ikm);  // the IKM embeds every answer verbatim
+  return okm;
 }
 
 TrivialScheme::SharedObject TrivialScheme::share(std::span<const std::uint8_t> object,
@@ -40,8 +44,9 @@ TrivialScheme::SharedObject TrivialScheme::share(std::span<const std::uint8_t> o
     out.questions.push_back(p.question);
     answers.push_back(p.answer);
   }
-  const Bytes key = derive_key(out.questions, answers, out.salt);
+  Bytes key = derive_key(out.questions, answers, out.salt);
   out.ciphertext = crypto::seal(key, rng.bytes(16), object);
+  crypto::secure_wipe(key);
   return out;
 }
 
@@ -53,12 +58,15 @@ std::optional<Bytes> TrivialScheme::access(const SharedObject& shared,
     if (!a) return std::nullopt;  // cannot even form the key material
     answers.push_back(*a);
   }
-  const Bytes key = derive_key(shared.questions, answers, shared.salt);
+  Bytes key = derive_key(shared.questions, answers, shared.salt);
+  std::optional<Bytes> object;
   try {
-    return crypto::open(key, shared.ciphertext);
+    object = crypto::open(key, shared.ciphertext);
   } catch (const std::runtime_error&) {
-    return std::nullopt;  // any single wrong answer garbles the key
+    object = std::nullopt;  // any single wrong answer garbles the key
   }
+  crypto::secure_wipe(key);
+  return object;
 }
 
 }  // namespace sp::core

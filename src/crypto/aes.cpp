@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
+
 namespace sp::crypto {
 
 namespace {
@@ -71,6 +73,10 @@ Aes::Aes(std::span<const std::uint8_t> key) {
     default: throw std::invalid_argument("Aes: key must be 16/24/32 bytes");
   }
   expand_key(key);
+}
+
+Aes::~Aes() {
+  secure_wipe(round_keys_.data(), round_keys_.size() * sizeof(std::uint32_t));
 }
 
 void Aes::expand_key(std::span<const std::uint8_t> key) {
@@ -152,6 +158,7 @@ void Aes::encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t
   shift_rows();
   add_round_key(rounds_);
   std::memcpy(out.data(), s, 16);
+  secure_wipe(s, sizeof(s));
 }
 
 void Aes::decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
@@ -207,6 +214,7 @@ void Aes::decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t
   inv_sub_bytes();
   add_round_key(0);
   std::memcpy(out.data(), s, 16);
+  secure_wipe(s, sizeof(s));
 }
 
 }  // namespace sp::crypto

@@ -21,6 +21,14 @@ class Aes {
   /// Key must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
   explicit Aes(std::span<const std::uint8_t> key);
 
+  /// The expanded key schedule is key-equivalent material: wipe it before
+  /// the allocation returns to the heap.
+  ~Aes();
+  Aes(const Aes&) = default;
+  Aes& operator=(const Aes&) = default;
+  Aes(Aes&&) noexcept = default;
+  Aes& operator=(Aes&&) noexcept = default;
+
   void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const;
   void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const;
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
+
 namespace sp::crypto {
 
 using u64 = std::uint64_t;
@@ -478,6 +480,12 @@ bool BigInt::is_probable_prime(const BigInt& n, int rounds,
     if (composite) return false;
   }
   return true;
+}
+
+void BigInt::wipe() noexcept {
+  secure_wipe(limbs_.data(), limbs_.size() * sizeof(std::uint64_t));
+  limbs_.clear();
+  negative_ = false;
 }
 
 }  // namespace sp::crypto

@@ -93,6 +93,11 @@ class BigInt {
   static bool is_probable_prime(const BigInt& n, int rounds,
                                 const std::function<Bytes(std::size_t)>& rand_bytes);
 
+  /// Zeroises the limb storage (optimizer-proof) and resets to zero. For
+  /// secret scalars — M_O, Schnorr nonces — whose value must not survive in
+  /// the allocation after use.
+  void wipe() noexcept;
+
  private:
   void trim();
   [[nodiscard]] static int cmp_mag(const BigInt& a, const BigInt& b);

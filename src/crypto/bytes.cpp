@@ -56,6 +56,12 @@ bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) 
   return acc == 0;
 }
 
+bool ct_equal(std::string_view a, std::string_view b) {
+  return ct_equal(
+      std::span<const std::uint8_t>{reinterpret_cast<const std::uint8_t*>(a.data()), a.size()},
+      std::span<const std::uint8_t>{reinterpret_cast<const std::uint8_t*>(b.data()), b.size()});
+}
+
 Bytes concat(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
   Bytes out;
   out.reserve(a.size() + b.size());

@@ -36,6 +36,10 @@ Bytes xor_cycle(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b
 /// hash verification at the service provider.
 bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
 
+/// String overload for answer/hash comparisons — views the characters as
+/// octets, no copies.
+bool ct_equal(std::string_view a, std::string_view b);
+
 /// Concatenates buffers; used when building hash inputs like H(a_i || K_Z).
 Bytes concat(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
 

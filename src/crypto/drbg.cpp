@@ -14,8 +14,8 @@ constexpr std::uint8_t kNonce[12] = {'s', 'p', '-', 'd', 'r', 'b', 'g', '-', 'v'
 Drbg::Drbg(std::string_view seed) : Drbg(std::span<const std::uint8_t>(to_bytes(seed))) {}
 
 Drbg::Drbg(std::span<const std::uint8_t> seed) {
-  key_ = Sha256::hash(seed);
-  stream_ = std::make_unique<ChaCha20>(key_, std::span<const std::uint8_t>(kNonce, 12));
+  key_ = SecretBytes(Sha256::hash(seed));
+  stream_ = std::make_unique<ChaCha20>(key_.span(), std::span<const std::uint8_t>(kNonce, 12));
 }
 
 Bytes Drbg::bytes(std::size_t n) {
@@ -47,12 +47,14 @@ double Drbg::uniform_real() {
 }
 
 Drbg Drbg::fork(std::string_view label) {
-  Bytes child_seed = hmac_sha256(key_, to_bytes(label));
+  Bytes child_seed = hmac_sha256(key_.span(), to_bytes(label));
   // Mix in stream position entropy so repeated forks with the same label
   // (e.g. per-trial forks in the bench harness) produce distinct children.
   Bytes pos = bytes(32);
   child_seed = hmac_sha256(child_seed, pos);
-  return Drbg(std::span<const std::uint8_t>(child_seed));
+  Drbg child{std::span<const std::uint8_t>(child_seed)};
+  secure_wipe(child_seed);
+  return child;
 }
 
 }  // namespace sp::crypto

@@ -12,6 +12,7 @@
 
 #include "crypto/bytes.hpp"
 #include "crypto/chacha20.hpp"
+#include "crypto/secret.hpp"
 
 namespace sp::crypto {
 
@@ -36,7 +37,7 @@ class Drbg {
 
  private:
   std::unique_ptr<ChaCha20> stream_;
-  Bytes key_;  // retained for fork()
+  SecretBytes key_;  // retained for fork(); wiped on destruction
 };
 
 }  // namespace sp::crypto

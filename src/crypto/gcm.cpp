@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/secret.hpp"
 
 namespace sp::crypto {
 
@@ -37,6 +38,13 @@ Block gf_mul(const Block& x, const Block& y) {
 class Ghash {
  public:
   explicit Ghash(const Block& h) : h_(h) {}
+
+  // h_ is key-equivalent (E_K(0)); y_ feeds the tag. Neither may outlive the
+  // computation in readable memory.
+  ~Ghash() {
+    secure_wipe(h_.data(), h_.size());
+    secure_wipe(y_.data(), y_.size());
+  }
 
   void update(std::span<const std::uint8_t> data) {
     // Processes data zero-padded to a block boundary (callers pass whole
@@ -83,6 +91,11 @@ struct GcmCore {
     j0[15] = 1;
   }
 
+  ~GcmCore() {
+    secure_wipe(h.data(), h.size());
+    secure_wipe(j0.data(), j0.size());
+  }
+
   Bytes ctr_crypt(std::span<const std::uint8_t> data) const {
     Bytes out(data.size());
     Block counter = j0;
@@ -93,6 +106,7 @@ struct GcmCore {
       const std::size_t n = std::min<std::size_t>(16, data.size() - off);
       for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
     }
+    secure_wipe(keystream.data(), keystream.size());
     return out;
   }
 
@@ -104,7 +118,9 @@ struct GcmCore {
                          static_cast<std::uint64_t>(ct.size()) * 8);
     Block ek_j0;
     aes.encrypt_block(j0, ek_j0);
-    return xor_blocks(ghash.digest(), ek_j0);
+    Block t = xor_blocks(ghash.digest(), ek_j0);
+    secure_wipe(ek_j0.data(), ek_j0.size());
+    return t;
   }
 };
 

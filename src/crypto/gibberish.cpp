@@ -5,6 +5,7 @@
 #include "crypto/base64.hpp"
 #include "crypto/md5.hpp"
 #include "crypto/modes.hpp"
+#include "crypto/secret.hpp"
 
 namespace sp::crypto {
 
@@ -33,10 +34,11 @@ Bytes evp_bytes_to_key_md5(std::string_view passphrase, std::span<const std::uin
 std::string gibberish_encrypt(std::string_view passphrase,
                               std::span<const std::uint8_t> plaintext, Drbg& rng) {
   const Bytes salt = rng.bytes(8);
-  const Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
+  Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
   const std::span<const std::uint8_t> key(key_iv.data(), 32);
   const std::span<const std::uint8_t> iv(key_iv.data() + 32, 16);
   const Bytes ct = aes_cbc_encrypt(key, iv, plaintext);
+  secure_wipe(key_iv);
 
   Bytes envelope(std::begin(kMagic), std::end(kMagic));
   envelope.insert(envelope.end(), salt.begin(), salt.end());
@@ -51,12 +53,13 @@ Bytes gibberish_decrypt(std::string_view passphrase, std::string_view envelope_b
     throw std::invalid_argument("gibberish_decrypt: missing Salted__ header");
   }
   const std::span<const std::uint8_t> salt(envelope.data() + 8, 8);
-  const Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
+  Bytes key_iv = evp_bytes_to_key_md5(passphrase, salt);
   const std::span<const std::uint8_t> key(key_iv.data(), 32);
   const std::span<const std::uint8_t> iv(key_iv.data() + 32, 16);
-  return aes_cbc_decrypt(key, iv,
-                         std::span<const std::uint8_t>(envelope.data() + 16,
-                                                       envelope.size() - 16));
+  Bytes plaintext = aes_cbc_decrypt(
+      key, iv, std::span<const std::uint8_t>(envelope.data() + 16, envelope.size() - 16));
+  secure_wipe(key_iv);
+  return plaintext;
 }
 
 }  // namespace sp::crypto

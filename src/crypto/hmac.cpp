@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sp::crypto {
@@ -12,6 +13,7 @@ Bytes hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_
   if (key.size() > kBlock) {
     Bytes kh = Sha256::hash(key);
     std::copy(kh.begin(), kh.end(), k0.begin());
+    secure_wipe(kh);
   } else {
     std::copy(key.begin(), key.end(), k0.begin());
   }
@@ -28,6 +30,10 @@ Bytes hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_
   outer.update(opad);
   outer.update(inner_digest);
   auto d = outer.finish();
+  // k0/ipad/opad are key-derived; they must not survive in the allocations.
+  secure_wipe(k0);
+  secure_wipe(ipad);
+  secure_wipe(opad);
   return Bytes(d.begin(), d.end());
 }
 

@@ -4,6 +4,7 @@
 
 #include "crypto/aes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/secret.hpp"
 
 namespace sp::crypto {
 
@@ -27,13 +28,15 @@ Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key, std::span<const std::ui
   Bytes out(padded.size());
   std::uint8_t chain[kBlock];
   std::copy(iv.begin(), iv.end(), chain);
+  std::uint8_t block[kBlock];
   for (std::size_t off = 0; off < padded.size(); off += kBlock) {
-    std::uint8_t block[kBlock];
     for (std::size_t i = 0; i < kBlock; ++i) block[i] = padded[off + i] ^ chain[i];
     aes.encrypt_block({block, kBlock}, {out.data() + off, kBlock});
     std::copy(out.begin() + static_cast<std::ptrdiff_t>(off),
               out.begin() + static_cast<std::ptrdiff_t>(off + kBlock), chain);
   }
+  secure_wipe(block, sizeof(block));  // last plaintext^chain block
+  secure_wipe(padded);               // plaintext copy
   return out;
 }
 
@@ -47,13 +50,14 @@ Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key, std::span<const std::ui
   Bytes out(ciphertext.size());
   std::uint8_t chain[kBlock];
   std::copy(iv.begin(), iv.end(), chain);
+  std::uint8_t block[kBlock];
   for (std::size_t off = 0; off < ciphertext.size(); off += kBlock) {
-    std::uint8_t block[kBlock];
     aes.decrypt_block(ciphertext.subspan(off, kBlock), {block, kBlock});
     for (std::size_t i = 0; i < kBlock; ++i) out[off + i] = block[i] ^ chain[i];
     std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
               ciphertext.begin() + static_cast<std::ptrdiff_t>(off + kBlock), chain);
   }
+  secure_wipe(block, sizeof(block));
   const std::uint8_t pad = out.back();
   if (pad == 0 || pad > kBlock || pad > out.size()) {
     throw std::runtime_error("aes_cbc_decrypt: bad padding");
@@ -82,31 +86,33 @@ Bytes aes_ctr_crypt(std::span<const std::uint8_t> key, std::span<const std::uint
       if (++counter[i] != 0) break;
     }
   }
+  secure_wipe(keystream, sizeof(keystream));
   return out;
 }
 
 Bytes seal(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
            std::span<const std::uint8_t> plaintext) {
   check_iv(iv);
-  const Bytes enc_key = hkdf(key, {}, to_bytes("sp-seal-enc"), 32);
-  const Bytes mac_key = hkdf(key, {}, to_bytes("sp-seal-mac"), 32);
-  Bytes ct = aes_cbc_encrypt(enc_key, iv, plaintext);
+  const SecretBytes enc_key{hkdf(key, {}, to_bytes("sp-seal-enc"), 32)};
+  const SecretBytes mac_key{hkdf(key, {}, to_bytes("sp-seal-mac"), 32)};
+  Bytes ct = aes_cbc_encrypt(enc_key.span(), iv, plaintext);
   Bytes envelope(iv.begin(), iv.end());
   envelope.insert(envelope.end(), ct.begin(), ct.end());
-  Bytes tag = hmac_sha256(mac_key, envelope);
+  Bytes tag = hmac_sha256(mac_key.span(), envelope);
   envelope.insert(envelope.end(), tag.begin(), tag.end());
+  secure_wipe(tag);  // public once appended, but keep the rule uniform
   return envelope;
 }
 
 Bytes open(std::span<const std::uint8_t> key, std::span<const std::uint8_t> envelope) {
   if (envelope.size() < kBlock + kTag) throw std::runtime_error("open: envelope too short");
-  const Bytes enc_key = hkdf(key, {}, to_bytes("sp-seal-enc"), 32);
-  const Bytes mac_key = hkdf(key, {}, to_bytes("sp-seal-mac"), 32);
+  const SecretBytes enc_key{hkdf(key, {}, to_bytes("sp-seal-enc"), 32)};
+  const SecretBytes mac_key{hkdf(key, {}, to_bytes("sp-seal-mac"), 32)};
   const auto body = envelope.first(envelope.size() - kTag);
   const auto tag = envelope.subspan(envelope.size() - kTag);
-  const Bytes expect = hmac_sha256(mac_key, body);
+  const Bytes expect = hmac_sha256(mac_key.span(), body);
   if (!ct_equal(expect, tag)) throw std::runtime_error("open: authentication failed");
-  return aes_cbc_decrypt(enc_key, body.first(kBlock), body.subspan(kBlock));
+  return aes_cbc_decrypt(enc_key.span(), body.first(kBlock), body.subspan(kBlock));
 }
 
 }  // namespace sp::crypto

@@ -1,0 +1,26 @@
+#include "crypto/secret.hpp"
+
+namespace sp::crypto {
+
+void secure_wipe(void* p, std::size_t n) noexcept {
+  if (p == nullptr || n == 0) return;
+  auto* bytes = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = 0;
+  // Keep the stores above from being classified as dead even under LTO: the
+  // barrier tells the compiler "memory escaped here".
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#endif
+}
+
+void secure_wipe(Bytes& b) noexcept {
+  secure_wipe(b.data(), b.size());
+  b.clear();
+}
+
+void secure_wipe(std::string& s) noexcept {
+  secure_wipe(s.data(), s.size());
+  s.clear();
+}
+
+}  // namespace sp::crypto

@@ -1,0 +1,117 @@
+// Secret-material hygiene primitives.
+//
+// Neither the SP nor the DH may ever learn answers, shares, or the object
+// secret M_O (paper §V, Constructions 1–2) — which means the *process* that
+// briefly holds them must not leak them either: not through a stale heap
+// allocation, not through a timing side channel in a comparison, and not
+// through an accidental copy that outlives its wipe. This header centralises
+// the three disciplines:
+//
+//   secure_wipe   — zeroisation the optimizer cannot elide,
+//   SecretBytes   — an owning buffer that wipes on destruction, compares only
+//                   in constant time, and never copies implicitly,
+//   (ct_equal)    — already in bytes.hpp; SecretBytes routes through it.
+//
+// tools/secret_lint enforces usage: raw `Bytes` locals with secret-looking
+// names must either become SecretBytes or be secure_wipe()d before scope
+// exit. See docs/SECURITY_HYGIENE.md for the contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "crypto/bytes.hpp"
+
+namespace sp::crypto {
+
+/// Zeroises `n` bytes at `p` through a volatile pointer plus a compiler
+/// barrier, so the store survives dead-store elimination even when the
+/// buffer is about to be freed. No-op on null/empty.
+void secure_wipe(void* p, std::size_t n) noexcept;
+
+/// Wipes a byte vector's contents and empties it. The capacity that held the
+/// secret is zeroed before the size changes, so no residue survives in the
+/// allocation.
+void secure_wipe(Bytes& b) noexcept;
+
+/// Wipes a string in place (answers travel as std::string) and empties it.
+void secure_wipe(std::string& s) noexcept;
+
+/// Owning byte buffer for key material: K_O, K_Z, AES round keys' source
+/// bytes, DRBG seeds, Schnorr nonce derivation state, blinded shares.
+///
+/// Contract:
+///  - wipes its storage on destruction, move-assignment-over, and wipe();
+///  - never copies implicitly — copy ctor/assign are deleted, duplication is
+///    an explicit clone();
+///  - equality is constant-time only (ct_equals); operator== is deleted so a
+///    timing-leaky compare cannot be written by accident;
+///  - interop with the span-based crypto API goes through span() /
+///    mutable_span(), which do not copy.
+class SecretBytes {
+ public:
+  SecretBytes() = default;
+
+  /// n zero bytes (to be filled via mutable_span()).
+  explicit SecretBytes(std::size_t n) : buf_(n, 0) {}
+
+  /// Takes ownership of an existing buffer. Move-only on purpose: the caller
+  /// visibly gives the secret up rather than leaving a live copy behind.
+  explicit SecretBytes(Bytes&& b) noexcept : buf_(std::move(b)) {}
+
+  /// Copies from a view the caller does not own (e.g. a wire field). The
+  /// source remains the caller's wiping responsibility.
+  explicit SecretBytes(std::span<const std::uint8_t> b) : buf_(b.begin(), b.end()) {}
+
+  SecretBytes(const SecretBytes&) = delete;
+  SecretBytes& operator=(const SecretBytes&) = delete;
+
+  SecretBytes(SecretBytes&& other) noexcept : buf_(std::move(other.buf_)) { other.buf_.clear(); }
+  SecretBytes& operator=(SecretBytes&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      buf_ = std::move(other.buf_);
+      other.buf_.clear();
+    }
+    return *this;
+  }
+
+  ~SecretBytes() { wipe(); }
+
+  /// Explicit duplication — the only way to get a second copy.
+  [[nodiscard]] SecretBytes clone() const {
+    return SecretBytes(std::span<const std::uint8_t>(buf_));
+  }
+
+  /// Non-owning read view for the span-based crypto API.
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return buf_; }
+  /// Non-owning write view (fill from a DRBG, XOR in place, ...).
+  [[nodiscard]] std::span<std::uint8_t> mutable_span() { return buf_; }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  /// Constant-time comparison (length still leaks, contents do not).
+  [[nodiscard]] bool ct_equals(std::span<const std::uint8_t> other) const {
+    return ct_equal(buf_, other);
+  }
+  [[nodiscard]] bool ct_equals(const SecretBytes& other) const {
+    return ct_equal(buf_, other.buf_);
+  }
+
+  /// Zeroises and empties now, ahead of destruction.
+  void wipe() noexcept {
+    secure_wipe(buf_);
+  }
+
+ private:
+  Bytes buf_;
+};
+
+/// A timing-leaky compare on secrets must not even compile.
+bool operator==(const SecretBytes&, const SecretBytes&) = delete;
+
+}  // namespace sp::crypto

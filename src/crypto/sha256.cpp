@@ -66,6 +66,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // empty spans carry a null data(); memcpy forbids it
   total_len_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ > 0) {

@@ -128,9 +128,9 @@ Point Curve::mul(const Point& pt, const BigInt& k) const {
 Point Curve::hash_to_group(std::span<const std::uint8_t> data) const {
   // Try-and-increment over a hash counter; then clear the cofactor to land
   // in the order-q subgroup. Each iteration succeeds with probability ~1/2.
-  Bytes seed(data.begin(), data.end());
+  const Bytes base(data.begin(), data.end());
   for (std::uint32_t counter = 0;; ++counter) {
-    Bytes attempt = seed;
+    Bytes attempt = base;
     attempt.push_back(static_cast<std::uint8_t>(counter >> 24));
     attempt.push_back(static_cast<std::uint8_t>(counter >> 16));
     attempt.push_back(static_cast<std::uint8_t>(counter >> 8));

@@ -91,6 +91,10 @@ class Fp {
   /// canonical choice (smaller of r, p−r).
   [[nodiscard]] Fp sqrt() const;
 
+  /// Zeroises the element's value (for secret polynomial coefficients and
+  /// share ordinates). The element becomes 0 in-field, residue-free.
+  void wipe() noexcept { v_.wipe(); }
+
  private:
   void require_same_field(const Fp& other) const;
 

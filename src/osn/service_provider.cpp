@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
+
 namespace sp::osn {
+
+ServiceProvider::~ServiceProvider() {
+  for (auto& [id, rec] : records_) crypto::secure_wipe(rec);
+  for (auto& obs : observations_) crypto::secure_wipe(obs.data);
+}
 
 std::string ServiceProvider::store_record(Bytes record) {
   const std::string id = "puzzle-" + std::to_string(next_++);
@@ -20,6 +27,7 @@ const Bytes& ServiceProvider::record(const std::string& puzzle_id) const {
 void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record) {
   auto it = records_.find(puzzle_id);
   if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle " + puzzle_id);
+  crypto::secure_wipe(it->second);  // refresh must not leave the old puzzle readable
   it->second = std::move(record);
 }
 

@@ -22,6 +22,16 @@ using crypto::Bytes;
 
 class ServiceProvider {
  public:
+  ServiceProvider() = default;
+  /// The SP's view holds answer hashes and blinded shares; even though the
+  /// protocol keeps them useless to the SP, the simulation wipes them on
+  /// teardown so test-process memory never accumulates puzzle material.
+  ~ServiceProvider();
+  ServiceProvider(const ServiceProvider&) = delete;
+  ServiceProvider& operator=(const ServiceProvider&) = delete;
+  ServiceProvider(ServiceProvider&&) noexcept = default;
+  ServiceProvider& operator=(ServiceProvider&&) noexcept = default;
+
   /// Stores a puzzle record; returns the puzzle id embedded in feed
   /// hyperlinks. Everything in `record` becomes part of the SP's view.
   std::string store_record(Bytes record);

@@ -9,10 +9,11 @@ namespace sp::osn {
 std::string StorageHost::store(Bytes blob) {
   // URL = hash of (counter || size): stable and unguessable-looking, without
   // depending on content (two identical ciphertexts get distinct URLs).
-  Bytes seed;
-  for (int i = 7; i >= 0; --i) seed.push_back(static_cast<std::uint8_t>(next_ >> (8 * i)));
+  Bytes counter_bytes;
+  for (int i = 7; i >= 0; --i) counter_bytes.push_back(static_cast<std::uint8_t>(next_ >> (8 * i)));
   ++next_;
-  const std::string url = "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(seed)).substr(0, 24);
+  const std::string url =
+      "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(counter_bytes)).substr(0, 24);
   blobs_.emplace(url, std::move(blob));
   return url;
 }

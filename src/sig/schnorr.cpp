@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "crypto/secret.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sp::sig {
@@ -33,21 +34,27 @@ BigInt Schnorr::challenge(const ec::Point& r, const ec::Point& pk,
 Signature Schnorr::sign(const KeyPair& kp, std::span<const std::uint8_t> msg) const {
   // Deterministic nonce: k = HMAC(sk, msg) expanded until < q (never reuse a
   // nonce across distinct messages — the classic Schnorr key-recovery trap).
-  const Bytes sk_bytes = kp.secret.to_bytes(curve_->fp()->byte_length());
-  Bytes stretch = crypto::hmac_sha256(sk_bytes, msg);
+  const crypto::SecretBytes sk_bytes{kp.secret.to_bytes(curve_->fp()->byte_length())};
+  Bytes stretch = crypto::hmac_sha256(sk_bytes.span(), msg);
   BigInt k;
   for (std::uint8_t ctr = 0;; ++ctr) {
     Bytes salted = stretch;
     salted.push_back(ctr);
-    Bytes wide = crypto::hmac_sha256(sk_bytes, salted);
-    Bytes wide2 = crypto::hmac_sha256(sk_bytes, wide);
+    Bytes wide = crypto::hmac_sha256(sk_bytes.span(), salted);
+    Bytes wide2 = crypto::hmac_sha256(sk_bytes.span(), wide);
     wide.insert(wide.end(), wide2.begin(), wide2.end());
     k = BigInt::from_bytes(wide).mod(curve_->order());
+    crypto::secure_wipe(salted);
+    crypto::secure_wipe(wide);
+    crypto::secure_wipe(wide2);
     if (!k.is_zero()) break;
   }
+  crypto::secure_wipe(stretch);
   const ec::Point r = curve_->mul(g_, k);
   const BigInt e = challenge(r, kp.public_key, msg);
   const BigInt s = (k + e * kp.secret).mod(curve_->order());
+  // A recovered nonce recovers the signing key: wipe it the moment s exists.
+  k.wipe();
   return Signature{r, s};
 }
 

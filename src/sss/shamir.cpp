@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "crypto/secret.hpp"
+
 namespace sp::sss {
 
 Shamir::Shamir(FpCtxPtr field) : field_(std::move(field)) {
@@ -33,7 +35,11 @@ std::vector<Share> Shamir::split(const BigInt& secret, std::size_t k, std::size_
     Fp y = coeffs.back();
     for (std::size_t i = coeffs.size() - 1; i-- > 0;) y = y * x + coeffs[i];
     shares.push_back(Share{x.value(), y.value()});
+    y.wipe();
   }
+  // The polynomial IS the secret (coeff 0 = M_O; the rest determine it given
+  // k shares) — zeroise it before the vector's storage is freed.
+  for (Fp& c : coeffs) c.wipe();
   return shares;
 }
 
@@ -71,6 +77,7 @@ Bytes Shamir::serialize(const Share& share) const {
   Bytes out = share.x.mod(field_->p()).to_bytes(w);
   Bytes y = share.y.mod(field_->p()).to_bytes(w);
   out.insert(out.end(), y.begin(), y.end());
+  crypto::secure_wipe(y);
   return out;
 }
 

@@ -26,6 +26,12 @@ struct Share {
   BigInt y;
 
   friend bool operator==(const Share&, const Share&) = default;
+
+  /// Zeroises both coordinates — a share is a secret fragment of M_O.
+  void wipe() noexcept {
+    x.wipe();
+    y.wipe();
+  }
 };
 
 class Shamir {

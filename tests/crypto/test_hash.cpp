@@ -4,6 +4,7 @@
 
 #include "crypto/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sha3.hpp"
@@ -126,6 +127,43 @@ TEST(Hkdf, EmptySaltUsesZeros) {
 TEST(Hkdf, ExpandRejectsOversize) {
   const Bytes prk(32, 1);
   EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+// Regression: update({}) used to pass the empty span's null data() to
+// memcpy when a partial block was buffered — UB flagged by UBSan
+// (sha256.cpp, sha1.cpp, md5.cpp). Empty updates must be no-ops at any
+// point in the stream, including mid-block.
+TEST(StreamingHash, EmptyUpdateMidStreamIsANoOp) {
+  const Bytes part = to_bytes("abc");  // shorter than a block, so it buffers
+  {
+    Sha256 h;
+    h.update(part);
+    h.update({});  // hits the buffered-partial-block path
+    h.update({});
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(part));
+  }
+  {
+    Sha1 h;
+    h.update(part);
+    h.update({});
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha1::hash(part));
+  }
+  {
+    Md5 h;
+    h.update(part);
+    h.update({});
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Md5::hash(part));
+  }
+  {
+    Sha256 h;
+    h.update({});  // empty before anything is buffered, too
+    h.update(part);
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(part));
+  }
 }
 
 TEST(Hkdf, DistinctInfoYieldsDistinctKeys) {

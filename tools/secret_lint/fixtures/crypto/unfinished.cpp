@@ -1,0 +1,18 @@
+// Fixture living under a `crypto/` path component: to-do markers here are
+// findings, because unfinished cryptographic code is a security bug, not a
+// note to self. (Outside crypto-bearing directories the rule stays quiet.)
+// The marker words are spelled out only on the seeded lines below, since the
+// rule scans comments too.
+
+void reduce_limbs() {
+  // TODO: switch to Montgomery form  expect-marker-on-this-line  // expect: todo-crypto
+}
+
+void finished_helper() {
+  // This comment is fine: nothing left to do here.
+}
+
+void fixme_case() {
+  int x = 0;  // FIXME overflow on 32-bit  // expect: todo-crypto
+  (void)x;
+}

@@ -1,0 +1,128 @@
+// Seeded violations for `secret_lint --selftest`. Every line annotated with
+// `// expect: <rule>` must produce exactly that finding; every unannotated
+// line must stay silent (the selftest fails on unexpected findings too, so
+// the negative cases below prove the suppressions work).
+//
+// This file is a lint fixture, never compiled — the identifiers are fake.
+
+struct Bytes;
+void use(const Bytes&);
+Bytes get();
+
+// ---- noct-compare ---------------------------------------------------------
+
+bool memcmp_on_key(const unsigned char* session_key, const unsigned char* other) {
+  return memcmp(session_key, other, 16) == 0;  // expect: noct-compare
+}
+
+bool eq_on_tag(const Bytes& tag_a, const Bytes& tag_b) {
+  return tag_a == tag_b;  // expect: noct-compare
+}
+
+bool neq_on_answer(const Bytes& answer_hash, const Bytes& submitted) {
+  return answer_hash != submitted;  // expect: noct-compare
+}
+
+// Negative: size/shape checks on secrets are not content comparisons.
+bool size_check_ok(const Bytes& key) {
+  return key.size() != 32;
+}
+
+// Negative: an allow() on the same line suppresses the finding.
+bool allowed_same_line(const Bytes& mac_a, const Bytes& mac_b) {
+  return mac_a == mac_b;  // secret-lint: allow(noct-compare)
+}
+
+// Negative: an allow() on a pure comment line directly above also counts.
+bool allowed_line_above(const Bytes& mac_a, const Bytes& mac_b) {
+  // secret-lint: allow(noct-compare)
+  return mac_a != mac_b;
+}
+
+// Negative: defaulted/deleted operator declarations are not comparisons.
+struct KeyPair {
+  friend bool operator==(const KeyPair&, const KeyPair&) = default;
+};
+bool operator==(const SecretKey&, const SecretKey&) = delete;
+
+// Negative: iterator comparisons against begin()/end() are shape checks.
+bool lookup_ok(const KeyMap& keys, int k) {
+  return keys.find(k) != keys.end();
+}
+
+// Negative: `sharer` is a public role name, not a share.
+bool same_sharer(const std::string& sharer, const std::string& peer) {
+  return sharer == peer;
+}
+
+// ---- weak-rng -------------------------------------------------------------
+
+int weak_rng_rand() {
+  return rand() % 6;  // expect: weak-rng
+}
+
+void weak_rng_srand(unsigned s) {
+  srand(s);  // expect: weak-rng
+}
+
+unsigned weak_rng_mt19937() {
+  auto gen = mt19937_ctor();  // negative: mt19937_ctor is a different identifier
+  return static_cast<unsigned>(0);
+}
+
+unsigned weak_rng_mt19937_real(unsigned seed_v) {
+  std::mt19937 gen(seed_v);  // expect: weak-rng
+  return gen();
+}
+
+// ---- missing-wipe ---------------------------------------------------------
+
+void missing_wipe_bytes() {
+  Bytes session_key = get();  // expect: missing-wipe
+  use(session_key);
+}
+
+void missing_wipe_array() {
+  std::uint8_t mac_block[16];  // expect: missing-wipe
+  use_raw(mac_block);
+}
+
+// Negative: the function wipes before scope exit.
+void wiped_ok() {
+  Bytes answer_bytes = get();
+  use(answer_bytes);
+  secure_wipe(answer_bytes);
+}
+
+// Negative: SecretBytes wipes itself; raw decl never appears.
+void secretbytes_ok() {
+  SecretBytes shared_secret(get_span());
+  use_span(shared_secret.span());
+}
+
+// Negative: allow() on the declaration.
+void allowed_decl() {
+  Bytes group_shared_secret = get();  // secret-lint: allow(missing-wipe)
+  publish(group_shared_secret);
+}
+
+// Negative: non-secret names are not key material.
+void plain_buffer_ok() {
+  Bytes wire_payload = get();
+  use(wire_payload);
+}
+
+// ---- secret-print ---------------------------------------------------------
+
+void print_with_cout(const Bytes& api_key) {
+  std::cout << api_key;  // expect: secret-print
+}
+
+void print_with_printf(const char* mac_hex) {
+  printf("%s", mac_hex);  // expect: secret-print
+}
+
+// Negative: printing public data is fine.
+void print_public(const char* url) {
+  printf("%s", url);
+}

@@ -1,0 +1,621 @@
+// secret_lint — secret-hygiene static analysis for the social-puzzles tree.
+//
+// The protocol's security argument (PAPER.md §V: neither SP nor DH learns
+// answers, shares, or M_O) silently assumes the implementation never leaks
+// secrets through side channels or stale memory. This tool mechanises that
+// assumption as five line/token-level rules over `src/` and runs as a ctest,
+// so a regression fails the build instead of shipping:
+//
+//   noct-compare  — memcmp()/operator==/!= applied to a secret-named buffer
+//                   (use crypto::ct_equal / SecretBytes::ct_equals instead)
+//   weak-rng      — rand()/srand()/std::mt19937/std::random_device anywhere
+//                   in src/ (all randomness must flow through crypto::Drbg)
+//   missing-wipe  — a function-local `Bytes`/byte-array with a secret-looking
+//                   name in a function that never wipes (secure_wipe /
+//                   SecretBytes / .wipe()) before scope exit
+//   secret-print  — printf/fprintf/std::cout/std::cerr lines that mention a
+//                   secret-named variable
+//   todo-crypto   — TODO/FIXME markers inside crypto-bearing directories
+//                   (crypto, field, ec, sig, sss) — unfinished crypto is a
+//                   finding, not a note
+//
+// Escape hatch: append `// secret-lint: allow(<rule>)` to the offending line
+// or the line directly above it. Allows are themselves greppable, so every
+// suppression is an auditable decision.
+//
+// Deliberately not libclang: a single-file, zero-dependency scanner that
+// builds in milliseconds on the bare toolchain and is dumb enough to read.
+// The price is token-level heuristics; the rules below document their own
+// false-positive suppressions.
+//
+// Usage:
+//   secret_lint <dir-or-file>...            scan, report, exit 1 on findings
+//   secret_lint --selftest <fixture-dir>    verify each `// expect: <rule>`
+//                                           marker fires and nothing else does
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path as given
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+const std::vector<std::string> kRules = {"noct-compare", "weak-rng", "missing-wipe",
+                                         "secret-print", "todo-crypto"};
+
+// Identifier fragments that mark a variable as secret-bearing. Matched
+// case-insensitively inside identifiers (key, puzzle_key, answer_bytes, ...).
+const std::vector<std::string> kSecretNames = {"key",    "tag", "share", "answer",
+                                               "secret", "mac", "nonce", "seed"};
+
+// Directories whose files hold cryptographic core code (todo-crypto scope).
+const std::vector<std::string> kCryptoDirs = {"crypto", "field", "ec", "sig", "sss"};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// All identifiers on a line (tokens starting with alpha/_).
+std::vector<std::string> identifiers(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isalpha(static_cast<unsigned char>(line[i])) || line[i] == '_') {
+      std::size_t j = i;
+      while (j < line.size() && is_ident_char(line[j])) ++j;
+      out.push_back(line.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// Identifiers that contain a secret fragment but name public protocol roles
+// or metadata, never key material. Exact (lowercased) matches only.
+const std::vector<std::string> kPublicIdents = {"sharer", "sharers"};
+
+bool is_secret_name(const std::string& ident) {
+  const std::string low = lower(ident);
+  for (const auto& pub : kPublicIdents) {
+    if (low == pub) return false;
+  }
+  for (const auto& frag : kSecretNames) {
+    if (low.find(frag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool line_has_secret_ident(const std::string& line) {
+  for (const auto& id : identifiers(line)) {
+    if (is_secret_name(id)) return true;
+  }
+  return false;
+}
+
+/// True when `needle` occurs at position `pos` as a whole word (not embedded
+/// in a longer identifier, e.g. `rand(` inside `random_below(`).
+bool word_at(const std::string& line, std::size_t pos, const std::string& needle) {
+  if (pos > 0 && is_ident_char(line[pos - 1])) return false;
+  const std::size_t end = pos + needle.size();
+  if (end < line.size() && is_ident_char(line[end])) return false;
+  return true;
+}
+
+bool contains_word(const std::string& line, const std::string& needle) {
+  for (std::size_t pos = line.find(needle); pos != std::string::npos;
+       pos = line.find(needle, pos + 1)) {
+    if (word_at(line, pos, needle)) return true;
+  }
+  return false;
+}
+
+/// Strips // comments and string/char literals so rule matching never fires
+/// on prose. (Block comments are handled by the caller's line loop.)
+std::string code_only(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_str = false, in_chr = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_block_comment) {
+      if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (in_chr) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_chr = false;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '\'') {
+      // Digit separators (1'000) are not char literals.
+      if (i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) && i + 1 < line.size() &&
+          std::isdigit(static_cast<unsigned char>(line[i + 1]))) {
+        continue;
+      }
+      in_chr = true;
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `// secret-lint: allow(rule1, rule2)` parser.
+std::set<std::string> parse_allows(const std::string& raw_line) {
+  std::set<std::string> out;
+  const std::size_t at = raw_line.find("secret-lint:");
+  if (at == std::string::npos) return out;
+  const std::size_t open = raw_line.find("allow(", at);
+  if (open == std::string::npos) return out;
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return out;
+  std::string inside = raw_line.substr(open + 6, close - open - 6);
+  std::replace(inside.begin(), inside.end(), ',', ' ');
+  std::istringstream ss(inside);
+  std::string rule;
+  while (ss >> rule) out.insert(rule);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Scope tracking for missing-wipe: we need to know which lines belong to
+// which function body, line-based. A scope opens at `{`; its kind is decided
+// by the text before the brace on the opening line.
+enum class ScopeKind { kNamespaceOrType, kFunction, kBlock };
+
+struct SecretDecl {
+  std::size_t line;
+  std::string name;
+  bool allowed;  // an allow(missing-wipe) covered the decl
+};
+
+struct FunctionScope {
+  std::vector<SecretDecl> decls;
+  bool has_wipe = false;
+};
+
+/// Heuristic classification of the code before a `{`.
+ScopeKind classify_opener(const std::string& before, bool inside_function) {
+  if (inside_function) return ScopeKind::kBlock;
+  for (const char* kw : {"struct", "class", "enum", "union", "namespace"}) {
+    if (contains_word(before, kw)) return ScopeKind::kNamespaceOrType;
+  }
+  // `) {`, `) const {`, `) noexcept {`, `) const -> T {`: a function body.
+  // Initializer lists `= {` and plain `{` blocks are not.
+  const std::size_t paren = before.rfind(')');
+  if (paren != std::string::npos) {
+    const std::string tail = before.substr(paren + 1);
+    bool tail_ok = true;
+    for (char c : tail) {
+      if (c == '=' || c == ',' || c == ';') tail_ok = false;
+    }
+    if (tail_ok) return ScopeKind::kFunction;
+  }
+  return ScopeKind::kBlock;
+}
+
+/// Matches a function-local declaration of a raw secret buffer:
+///   [static] [const] [crypto::|sp::crypto::] Bytes <name> ...
+///   std::uint8_t <name>[...]   /   uint8_t <name>[...]
+/// Returns the declared identifier when it looks secret-named.
+std::optional<std::string> match_secret_decl(const std::string& code) {
+  // Tokenise the start of the line.
+  std::vector<std::string> toks;
+  std::size_t i = 0;
+  while (i < code.size() && toks.size() < 6) {
+    if (std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(code[i])) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      toks.push_back(code.substr(i, j - i));
+      i = j;
+    } else if (code[i] == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      i += 2;  // fold qualified names: crypto::Bytes -> [crypto][Bytes]
+    } else {
+      break;  // any other punctuation ends the declaration prefix
+    }
+  }
+  // Drop qualifiers/namespaces to find "<Type> <name>".
+  std::vector<std::string> core;
+  for (const auto& t : toks) {
+    if (t == "static" || t == "const" || t == "constexpr" || t == "sp" || t == "crypto" ||
+        t == "std") {
+      continue;
+    }
+    core.push_back(t);
+  }
+  if (core.size() < 2) return std::nullopt;
+  const std::string& type = core[0];
+  const std::string& name = core[1];
+  const bool byte_buffer = type == "Bytes" || type == "uint8_t" || type == "string";
+  if (!byte_buffer) return std::nullopt;
+  // uint8_t scalars are not buffers — require an array suffix for them.
+  if (type == "uint8_t") {
+    const std::size_t name_pos = code.find(name);
+    const std::size_t bracket = code.find('[', name_pos);
+    if (bracket == std::string::npos) return std::nullopt;
+  }
+  if (!is_secret_name(name)) return std::nullopt;
+  return name;
+}
+
+bool line_wipes(const std::string& code) {
+  return code.find("secure_wipe") != std::string::npos ||
+         code.find(".wipe(") != std::string::npos;
+}
+
+// --------------------------------------------------------------------------
+
+bool in_crypto_dir(const fs::path& p) {
+  for (const auto& part : p) {
+    for (const auto& dir : kCryptoDirs) {
+      if (part == dir) return true;
+    }
+  }
+  return false;
+}
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io-error", "cannot open file"});
+    return;
+  }
+  std::vector<std::string> raw_lines;
+  std::string line;
+  while (std::getline(in, line)) raw_lines.push_back(line);
+
+  const bool crypto_file = in_crypto_dir(path);
+
+  // Scope stack for missing-wipe. Each entry: kind + (for functions) state.
+  struct Scope {
+    ScopeKind kind;
+    std::size_t fn_index;  // index into fn_stack when kind == kFunction
+  };
+  std::vector<Scope> scopes;
+  std::vector<FunctionScope> fn_stack;
+  std::vector<std::pair<FunctionScope, std::size_t>> closed_fns;  // scope + close line
+
+  bool in_block_comment = false;
+  std::string pending;  // code carried across lines until a brace decision
+
+  auto current_fn = [&]() -> FunctionScope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kFunction) return &fn_stack[it->fn_index];
+    }
+    return nullptr;
+  };
+
+  auto allowed_at = [&](std::size_t idx, const std::string& rule) {
+    const auto here = parse_allows(raw_lines[idx]);
+    if (here.count(rule)) return true;
+    if (idx > 0) {
+      const auto above = parse_allows(raw_lines[idx - 1]);
+      // The line above only counts when it is a pure comment line.
+      const std::string trimmed = raw_lines[idx - 1];
+      const std::size_t first = trimmed.find_first_not_of(" \t");
+      if (first != std::string::npos && trimmed.compare(first, 2, "//") == 0 &&
+          above.count(rule)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto report = [&](std::size_t idx, const std::string& rule, const std::string& msg) {
+    if (allowed_at(idx, rule)) return;
+    findings.push_back({path.string(), idx + 1, rule, msg});
+  };
+
+  for (std::size_t idx = 0; idx < raw_lines.size(); ++idx) {
+    const std::string& raw = raw_lines[idx];
+
+    // todo-crypto looks at comments too, so it runs on the raw line.
+    if (crypto_file) {
+      if (raw.find("TODO") != std::string::npos || raw.find("FIXME") != std::string::npos) {
+        report(idx, "todo-crypto", "TODO/FIXME in crypto-bearing file");
+      }
+    }
+
+    const std::string code = code_only(raw, in_block_comment);
+
+    // ---- weak-rng ------------------------------------------------------
+    if (contains_word(code, "rand") || contains_word(code, "srand") ||
+        contains_word(code, "mt19937") || contains_word(code, "mt19937_64") ||
+        contains_word(code, "random_device") || contains_word(code, "minstd_rand")) {
+      // `rand` must be a call, not e.g. a struct member named rand.
+      const bool call_like = code.find("rand()") != std::string::npos ||
+                             code.find("rand ()") != std::string::npos ||
+                             code.find("srand") != std::string::npos ||
+                             code.find("mt19937") != std::string::npos ||
+                             code.find("random_device") != std::string::npos ||
+                             code.find("minstd_rand") != std::string::npos;
+      if (call_like) {
+        report(idx, "weak-rng", "non-cryptographic randomness; use crypto::Drbg");
+      }
+    }
+
+    // ---- noct-compare --------------------------------------------------
+    {
+      const bool has_memcmp = contains_word(code, "memcmp");
+      bool has_eq = false;
+      for (std::size_t pos = 0; pos + 1 < code.size(); ++pos) {
+        if ((code[pos] == '=' && code[pos + 1] == '=') ||
+            (code[pos] == '!' && code[pos + 1] == '=')) {
+          // Skip <=, >=, = =... handled: require char before not <>!=.
+          if (code[pos] == '=' && pos > 0 &&
+              (code[pos - 1] == '<' || code[pos - 1] == '>' || code[pos - 1] == '=' ||
+               code[pos - 1] == '!')) {
+            continue;
+          }
+          has_eq = true;
+          break;
+        }
+      }
+      if ((has_memcmp || has_eq) && line_has_secret_ident(code)) {
+        // Size/shape checks, iterator comparisons, and declarations of
+        // defaulted/deleted operators are not content comparisons.
+        const bool size_check = code.find(".size()") != std::string::npos ||
+                                code.find(".length()") != std::string::npos ||
+                                code.find(".empty()") != std::string::npos ||
+                                code.find(".begin()") != std::string::npos ||
+                                code.find(".end()") != std::string::npos ||
+                                code.find("nullptr") != std::string::npos ||
+                                code.find("std::nullopt") != std::string::npos;
+        const bool op_decl = code.find("operator==") != std::string::npos &&
+                             (code.find("default") != std::string::npos ||
+                              code.find("delete") != std::string::npos);
+        if (!size_check && !op_decl) {
+          if (has_memcmp) {
+            report(idx, "noct-compare", "memcmp on secret-named buffer; use crypto::ct_equal");
+          } else {
+            report(idx, "noct-compare",
+                   "==/!= on secret-named value; use crypto::ct_equal / ct_equals");
+          }
+        }
+      }
+    }
+
+    // ---- secret-print --------------------------------------------------
+    {
+      const bool printy = contains_word(code, "printf") || contains_word(code, "fprintf") ||
+                          contains_word(code, "cout") || contains_word(code, "cerr");
+      if (printy && line_has_secret_ident(code)) {
+        report(idx, "secret-print", "printing a secret-named variable");
+      }
+    }
+
+    // ---- missing-wipe scope machinery ---------------------------------
+    FunctionScope* fn = current_fn();
+    if (fn != nullptr) {
+      if (line_wipes(code)) fn->has_wipe = true;
+      if (auto name = match_secret_decl(code)) {
+        fn->decls.push_back({idx, *name, allowed_at(idx, "missing-wipe")});
+      }
+    }
+
+    // Brace walking (after decl detection so `Type x{...};` still matches).
+    pending.clear();
+    for (char c : code) {
+      if (c == '{') {
+        const bool inside_fn = current_fn() != nullptr;
+        const ScopeKind kind = classify_opener(pending, inside_fn);
+        Scope s{kind, 0};
+        if (kind == ScopeKind::kFunction) {
+          fn_stack.emplace_back();
+          s.fn_index = fn_stack.size() - 1;
+        }
+        scopes.push_back(s);
+        pending.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) {
+          const Scope s = scopes.back();
+          scopes.pop_back();
+          if (s.kind == ScopeKind::kFunction) {
+            closed_fns.emplace_back(std::move(fn_stack[s.fn_index]), idx);
+            fn_stack.pop_back();
+          }
+        }
+        pending.clear();
+      } else {
+        pending.push_back(c);
+      }
+    }
+  }
+  // Any function never closed (unbalanced braces) is still checked.
+  for (auto& f : fn_stack) closed_fns.emplace_back(std::move(f), raw_lines.size());
+
+  for (const auto& [f, close_line] : closed_fns) {
+    (void)close_line;
+    if (f.has_wipe) continue;
+    for (const auto& d : f.decls) {
+      if (d.allowed) continue;
+      findings.push_back({path.string(), d.line + 1, "missing-wipe",
+                          "secret-named buffer `" + d.name +
+                              "` is never wiped before scope exit; use SecretBytes or "
+                              "secure_wipe"});
+    }
+  }
+}
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(root)) {
+    if (scannable(root)) files.push_back(root);
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && scannable(entry.path())) files.push_back(entry.path());
+  }
+}
+
+int run_scan(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& r : roots) {
+    if (!fs::exists(r)) {
+      std::cerr << "secret_lint: no such path: " << r << "\n";
+      return 2;
+    }
+    collect(r, files);
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const auto& f : files) scan_file(f, findings);
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "secret_lint: " << files.size() << " files, " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}
+
+/// Self-test: every fixture line annotated `// expect: <rule>` must produce
+/// exactly that finding, and no unannotated finding may appear. Proves each
+/// rule fires before we trust a clean scan of src/.
+int run_selftest(const std::string& fixture_dir) {
+  std::vector<fs::path> files;
+  if (!fs::exists(fixture_dir)) {
+    std::cerr << "secret_lint --selftest: no such dir: " << fixture_dir << "\n";
+    return 2;
+  }
+  collect(fixture_dir, files);
+  if (files.empty()) {
+    std::cerr << "secret_lint --selftest: no fixtures found\n";
+    return 2;
+  }
+
+  std::map<std::pair<std::string, std::size_t>, std::set<std::string>> expected;
+  std::set<std::string> expected_rules;
+  for (const auto& f : files) {
+    std::ifstream in(f);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+      ++n;
+      const std::size_t at = line.find("// expect:");
+      if (at == std::string::npos) continue;
+      std::string rules = line.substr(at + 10);
+      std::replace(rules.begin(), rules.end(), ',', ' ');
+      std::istringstream ss(rules);
+      std::string rule;
+      while (ss >> rule) {
+        // Only known rule names count as expectations; prose after the
+        // marker (or an unrelated comment containing it) is ignored.
+        if (std::find(kRules.begin(), kRules.end(), rule) == kRules.end()) continue;
+        expected[{f.string(), n}].insert(rule);
+        expected_rules.insert(rule);
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) scan_file(f, findings);
+
+  int failures = 0;
+  std::map<std::pair<std::string, std::size_t>, std::set<std::string>> got;
+  for (const auto& f : findings) got[{f.file, f.line}].insert(f.rule);
+
+  for (const auto& [loc, rules] : expected) {
+    for (const auto& rule : rules) {
+      if (!got.count(loc) || !got.at(loc).count(rule)) {
+        std::cout << "SELFTEST FAIL: expected [" << rule << "] at " << loc.first << ":"
+                  << loc.second << " did not fire\n";
+        ++failures;
+      }
+    }
+  }
+  for (const auto& [loc, rules] : got) {
+    for (const auto& rule : rules) {
+      if (!expected.count(loc) || !expected.at(loc).count(rule)) {
+        std::cout << "SELFTEST FAIL: unexpected [" << rule << "] at " << loc.first << ":"
+                  << loc.second << "\n";
+        ++failures;
+      }
+    }
+  }
+  // Coverage: every rule must be exercised by at least one fixture.
+  for (const auto& rule : kRules) {
+    if (!expected_rules.count(rule)) {
+      std::cout << "SELFTEST FAIL: no fixture exercises rule [" << rule << "]\n";
+      ++failures;
+    }
+  }
+
+  std::cout << "secret_lint selftest: " << expected.size() << " annotated sites, " << failures
+            << " failure" << (failures == 1 ? "" : "s") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: secret_lint <dir-or-file>... | secret_lint --selftest <fixture-dir>\n";
+    return 2;
+  }
+  if (args[0] == "--selftest") {
+    if (args.size() != 2) {
+      std::cerr << "usage: secret_lint --selftest <fixture-dir>\n";
+      return 2;
+    }
+    return run_selftest(args[1]);
+  }
+  return run_scan(args);
+}
