@@ -77,7 +77,7 @@ void BM_AbeDecrypt(benchmark::State& state) {
   const auto sk = scheme.keygen(mk, attrs, rng);
   for (auto _ : state) {
     auto out = scheme.decrypt_key(pk, sk, ct);
-    if (!out || *out != dem_key) state.SkipWithError("decrypt failed");
+    if (!out || !crypto::ct_equal(*out, dem_key)) state.SkipWithError("decrypt failed");
     benchmark::DoNotOptimize(out);
   }
 }

@@ -38,15 +38,16 @@ int main() {
   for (std::size_t known = 0; known <= 6; ++known) {
     int trivial_ok = 0, c1_ok = 0, c2_ok = 0;
     for (int t = 0; t < kTrials; ++t) {
-      const std::string seed = "baseline-" + std::to_string(known) + "-" + std::to_string(t);
-      Drbg krng(seed + "-knowledge");
+      // Public per-trial run label (not key material): seeds the deterministic run.
+      const std::string run_label = "baseline-" + std::to_string(known) + "-" + std::to_string(t);
+      Drbg krng(run_label + "-knowledge");
       const Knowledge k = Knowledge::partial(ctx, known, krng);
 
       trivial_ok += TrivialScheme::access(trivial, k).has_value() ? 1 : 0;
 
       SessionConfig cfg;
       cfg.pairing_preset = sp::ec::ParamPreset::kTest;  // success-rate only; speed over scale
-      cfg.seed = seed;
+      cfg.seed = run_label;
       Session session(cfg);
       const auto sharer = session.register_user("s");
       const auto receiver = session.register_user("r");

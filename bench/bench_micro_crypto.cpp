@@ -11,6 +11,7 @@
 #include "crypto/sha3.hpp"
 #include "ec/pairing.hpp"
 #include "ec/params.hpp"
+#include "field/fp.hpp"
 
 namespace {
 
@@ -71,6 +72,49 @@ void BM_BigIntModPow512(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntModPow512);
 
+void BM_FpMulMontgomery(benchmark::State& state) {
+  const auto& params = ec::preset_params(ec::ParamPreset::kFull);
+  crypto::Drbg rng("bm-fpmul");
+  const auto a = field::Fp::random(params.fp, rng).value();
+  const auto b = field::Fp::random(params.fp, rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(params.fp->mul_mod(a, b));
+  }
+}
+BENCHMARK(BM_FpMulMontgomery);
+
+void BM_FpMulBarrett(benchmark::State& state) {
+  const auto& params = ec::preset_params(ec::ParamPreset::kFull);
+  crypto::Drbg rng("bm-fpmul");
+  const auto a = field::Fp::random(params.fp, rng).value();
+  const auto b = field::Fp::random(params.fp, rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(params.fp->mul_mod_barrett(a, b));
+  }
+}
+BENCHMARK(BM_FpMulBarrett);
+
+void BM_FpPowBarrett(benchmark::State& state) {
+  const auto& params = ec::preset_params(ec::ParamPreset::kFull);
+  crypto::Drbg rng("bm-modpow");
+  const auto base = crypto::BigInt::from_bytes(rng.bytes(60)).mod(params.fp->p());
+  const auto exp = crypto::BigInt::from_bytes(rng.bytes(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(params.fp->pow_mod_barrett(base, exp));
+  }
+}
+BENCHMARK(BM_FpPowBarrett);
+
+void BM_FpInv(benchmark::State& state) {
+  const auto& params = ec::preset_params(ec::ParamPreset::kFull);
+  crypto::Drbg rng("bm-fpinv");
+  const auto a = field::Fp::random_nonzero(params.fp, rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(params.fp->inv_mod(a));
+  }
+}
+BENCHMARK(BM_FpInv);
+
 void BM_ScalarMul(benchmark::State& state) {
   const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
   crypto::Drbg rng("bm-mul");
@@ -81,6 +125,29 @@ void BM_ScalarMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScalarMul);
+
+void BM_ScalarMulFixedBase(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  crypto::Drbg rng("bm-mul-fb");
+  const auto g = curve.random_group_element(rng);
+  curve.precompute_fixed_base(g);
+  const auto k = crypto::BigInt::from_bytes(rng.bytes(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.mul(g, k));
+  }
+}
+BENCHMARK(BM_ScalarMulFixedBase);
+
+void BM_ScalarMulBinary(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  crypto::Drbg rng("bm-mul");
+  const auto g = curve.random_group_element(rng);
+  const auto k = crypto::BigInt::from_bytes(rng.bytes(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.mul_binary(g, k));
+  }
+}
+BENCHMARK(BM_ScalarMulBinary);
 
 void BM_HashToGroup(benchmark::State& state) {
   const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));

@@ -60,8 +60,18 @@ BigInt CpAbe::rand_scalar(crypto::Drbg& rng) const {
 const ec::Point& CpAbe::generator() const {
   if (!generator_) {
     generator_ = curve_->hash_to_group(crypto::to_bytes("sp-cpabe-generator"));
+    // g is raised to a fresh scalar in Setup, KeyGen and every Encrypt leaf;
+    // the window table amortizes across all of them (process-wide cache).
+    curve_->precompute_fixed_base(*generator_);
   }
   return *generator_;
+}
+
+const Fp2& CpAbe::e_gg(const ec::Point& g) const {
+  if (!e_gg_cache_ || e_gg_cache_->first != g) {
+    e_gg_cache_.emplace(g, pairing_(g, g));
+  }
+  return e_gg_cache_->second;
 }
 
 ec::Point CpAbe::hash_attr(const std::string& attribute) const {
@@ -79,7 +89,11 @@ std::pair<PublicKey, MasterKey> CpAbe::setup(crypto::Drbg& rng) const {
   pk.g = g;
   pk.h = curve_->mul(g, beta);
   pk.f = curve_->mul(g, BigInt::mod_inv(beta, curve_->order()));
-  pk.e_gg_alpha = pairing_(g, g).pow(alpha);
+  // h carries the per-share exponent in every Encrypt (C = h^s); f is the
+  // delegation base. Register both alongside g for fixed-base windowing.
+  curve_->precompute_fixed_base(pk.h);
+  curve_->precompute_fixed_base(pk.f);
+  pk.e_gg_alpha = e_gg(g).pow(alpha);
   MasterKey mk;
   mk.beta = beta;
   mk.g_alpha = curve_->mul(g, alpha);
@@ -148,7 +162,7 @@ std::pair<Ciphertext, Bytes> CpAbe::encrypt_key(const PublicKey& pk, const Acces
   const BigInt s = rand_scalar(rng);
   // KEM message: random target-group element M = e(g,g)^z.
   const BigInt z = rand_scalar(rng);
-  const Fp2 m = pairing_(pk.g, pk.g).pow(z);
+  const Fp2 m = e_gg(pk.g).pow(z);
   ct.c_tilde = m * pk.e_gg_alpha.pow(s);
   ct.c = curve_->mul(pk.h, s);
   std::size_t next_id = 0;

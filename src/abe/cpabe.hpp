@@ -105,8 +105,12 @@ class CpAbe {
  private:
   [[nodiscard]] BigInt rand_scalar(crypto::Drbg& rng) const;
   [[nodiscard]] ec::Point hash_attr(const std::string& attribute) const;
-  /// The fixed public generator g (hash-to-group of a domain tag), cached.
+  /// The fixed public generator g (hash-to-group of a domain tag), cached
+  /// and registered for fixed-base scalar multiplication.
   [[nodiscard]] const ec::Point& generator() const;
+  /// e(g, g) for the given generator, cached — Setup and every Encrypt need
+  /// it, and the pairing is the single most expensive primitive.
+  [[nodiscard]] const Fp2& e_gg(const ec::Point& g) const;
 
   /// Recursive share assignment for Encrypt.
   void share_secret(const AccessTree::Node& node, const BigInt& value, std::size_t& next_id,
@@ -118,7 +122,8 @@ class CpAbe {
 
   const ec::Curve* curve_;
   ec::Pairing pairing_;
-  mutable std::optional<ec::Point> generator_;  // lazily cached
+  mutable std::optional<ec::Point> generator_;               // lazily cached
+  mutable std::optional<std::pair<ec::Point, Fp2>> e_gg_cache_;  // (g, e(g,g))
 };
 
 }  // namespace sp::abe

@@ -300,6 +300,9 @@ BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
 BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
   if (exp.is_negative()) throw std::domain_error("BigInt::mod_pow: negative exponent");
   if (m == BigInt{1}) return BigInt{};
+  // Odd moduli up to 1024 bits take the Montgomery fast path; the
+  // square-and-multiply loop below stays as the fallback (and oracle).
+  if (MontCtx::usable(m)) return MontCtx(m).pow(base.mod(m), exp);
   BigInt result{1};
   BigInt b = base.mod(m);
   const std::size_t nbits = exp.bit_length();
@@ -486,6 +489,275 @@ void BigInt::wipe() noexcept {
   secure_wipe(limbs_.data(), limbs_.size() * sizeof(std::uint64_t));
   limbs_.clear();
   negative_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// MontCtx
+// ---------------------------------------------------------------------------
+
+bool MontCtx::usable(const BigInt& m) {
+  // is_odd() implies non-zero; reject 1 so `x mod m` is always meaningful.
+  return !m.negative_ && m.is_odd() && m.limbs_.size() <= kMaxLimbs &&
+         (m.limbs_.size() > 1 || m.limbs_[0] >= 3);
+}
+
+MontCtx::MontCtx(const BigInt& modulus) {
+  if (!usable(modulus)) {
+    throw std::invalid_argument("MontCtx: modulus must be odd, >= 3 and <= 1024 bits");
+  }
+  m_ = modulus;
+  n_ = m_.limbs_.size();
+  mlimbs_ = m_.limbs_;
+  // -m^{-1} mod 2^64 by Newton iteration: for odd m0, x = m0 is already an
+  // inverse mod 8, and each step doubles the number of correct low bits.
+  const u64 m0 = mlimbs_[0];
+  u64 x = m0;
+  for (int i = 0; i < 5; ++i) x *= 2 - m0 * x;
+  m0inv_ = ~x + 1;
+  one_ = (BigInt{1} << (64 * n_)).mod(m_);
+  r2_ = (BigInt{1} << (128 * n_)).mod(m_);
+  r2limbs_.assign(n_, 0);
+  load(r2_, r2limbs_.data());
+}
+
+void MontCtx::load(const BigInt& x, u64* out) const {
+  // Precondition: x in [0, m) — at most n_ limbs.
+  std::copy(x.limbs_.begin(), x.limbs_.end(), out);
+  std::fill(out + x.limbs_.size(), out + n_, 0);
+}
+
+BigInt MontCtx::store(const u64* limbs) const {
+  BigInt r;
+  r.limbs_.assign(limbs, limbs + n_);
+  r.trim();
+  return r;
+}
+
+// Coarsely Integrated Operand Scanning (Koç/Acar/Kaliski): interleaves the
+// schoolbook product with per-limb REDC so the accumulator never exceeds
+// n_ + 2 limbs. out = a * b * R^{-1} mod m; out may alias a or b.
+void MontCtx::cios(const u64* a, const u64* b, u64* out) const {
+  const std::size_t n = n_;
+  const u64* m = mlimbs_.data();
+  u64 t[kMaxLimbs + 2] = {0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 ai = a[i];
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<u64>(s);
+    t[n + 1] = static_cast<u64>(s >> 64);
+
+    const u64 mu = t[0] * m0inv_;
+    u128 cur = static_cast<u128>(mu) * m[0] + t[0];  // low limb cancels to 0
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = static_cast<u128>(mu) * m[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    s = static_cast<u128>(t[n]) + carry;
+    t[n - 1] = static_cast<u64>(s);
+    t[n] = t[n + 1] + static_cast<u64>(s >> 64);
+  }
+  // t is in [0, 2m); one conditional subtraction canonicalizes.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != m[i]) {
+        ge = t[i] > m[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 need = static_cast<u128>(m[i]) + borrow;
+      out[i] = static_cast<u64>(static_cast<u128>(t[i]) - need);
+      borrow = static_cast<u128>(t[i]) < need ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+BigInt MontCtx::to_mont(const BigInt& x) const {
+  const BigInt r = (x.negative_ || cmp_arg_ge(x)) ? x.mod(m_) : x;
+  u64 xa[kMaxLimbs];
+  u64 res[kMaxLimbs];
+  load(r, xa);
+  cios(xa, r2limbs_.data(), res);
+  return store(res);
+}
+
+BigInt MontCtx::from_mont(const BigInt& x) const {
+  const BigInt r = (x.negative_ || cmp_arg_ge(x)) ? x.mod(m_) : x;
+  u64 xa[kMaxLimbs];
+  u64 oneraw[kMaxLimbs] = {1};
+  u64 res[kMaxLimbs];
+  load(r, xa);
+  cios(xa, oneraw, res);
+  return store(res);
+}
+
+BigInt MontCtx::mont_mul(const BigInt& a, const BigInt& b) const {
+  const BigInt ra = (a.negative_ || cmp_arg_ge(a)) ? a.mod(m_) : a;
+  const BigInt rb = (b.negative_ || cmp_arg_ge(b)) ? b.mod(m_) : b;
+  u64 aa[kMaxLimbs];
+  u64 ba[kMaxLimbs];
+  u64 res[kMaxLimbs];
+  load(ra, aa);
+  load(rb, ba);
+  cios(aa, ba, res);
+  return store(res);
+}
+
+BigInt MontCtx::mul(const BigInt& a, const BigInt& b) const {
+  const BigInt ra = (a.negative_ || cmp_arg_ge(a)) ? a.mod(m_) : a;
+  const BigInt rb = (b.negative_ || cmp_arg_ge(b)) ? b.mod(m_) : b;
+  u64 aa[kMaxLimbs];
+  u64 ba[kMaxLimbs];
+  u64 res[kMaxLimbs];
+  load(ra, aa);
+  load(rb, ba);
+  cios(aa, ba, res);                     // a * b * R^{-1}
+  cios(res, r2limbs_.data(), res);       // * R^2 * R^{-1} = a * b mod m
+  return store(res);
+}
+
+// Fixed-window (w = 4) left-to-right exponentiation over raw limb arrays.
+// 16-entry table, 4 squarings + at most one table multiply per nibble; 64 is
+// a multiple of 4, so nibbles never straddle limb boundaries.
+void MontCtx::pow_raw(const u64* base_mont, const BigInt& exp, u64* out) const {
+  u64 table[16][kMaxLimbs];
+  load(one_, table[0]);
+  std::copy(base_mont, base_mont + n_, table[1]);
+  for (int d = 2; d < 16; ++d) cios(table[d - 1], base_mont, table[d]);
+
+  const std::size_t nbits = exp.bit_length();
+  if (nbits == 0) {
+    std::copy(table[0], table[0] + n_, out);
+    return;
+  }
+  const auto nibble = [&exp](std::size_t k) -> unsigned {
+    const std::size_t limb = k / 16;
+    if (limb >= exp.limbs_.size()) return 0;
+    return static_cast<unsigned>((exp.limbs_[limb] >> (4 * (k % 16))) & 0xF);
+  };
+  const std::size_t nnibs = (nbits + 3) / 4;
+  u64 acc[kMaxLimbs];
+  std::copy(table[nibble(nnibs - 1)], table[nibble(nnibs - 1)] + n_, acc);
+  for (std::size_t k = nnibs - 1; k-- > 0;) {
+    cios(acc, acc, acc);
+    cios(acc, acc, acc);
+    cios(acc, acc, acc);
+    cios(acc, acc, acc);
+    const unsigned d = nibble(k);
+    if (d != 0) cios(acc, table[d], acc);
+  }
+  std::copy(acc, acc + n_, out);
+}
+
+BigInt MontCtx::pow_mont(const BigInt& base_mont, const BigInt& exp) const {
+  if (exp.is_negative()) throw std::domain_error("MontCtx::pow_mont: negative exponent");
+  const BigInt rb = (base_mont.negative_ || cmp_arg_ge(base_mont)) ? base_mont.mod(m_) : base_mont;
+  u64 ba[kMaxLimbs];
+  u64 res[kMaxLimbs];
+  load(rb, ba);
+  pow_raw(ba, exp, res);
+  return store(res);
+}
+
+BigInt MontCtx::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) throw std::domain_error("MontCtx::pow: negative exponent");
+  const BigInt rb = (base.negative_ || cmp_arg_ge(base)) ? base.mod(m_) : base;
+  u64 ba[kMaxLimbs];
+  u64 res[kMaxLimbs];
+  u64 oneraw[kMaxLimbs] = {1};
+  load(rb, ba);
+  cios(ba, r2limbs_.data(), ba);  // into Montgomery domain
+  pow_raw(ba, exp, res);
+  cios(res, oneraw, res);         // back to canonical
+  return store(res);
+}
+
+void MontCtx::to_mont_raw(const BigInt& x, u64* out) const {
+  const BigInt r = (x.negative_ || cmp_arg_ge(x)) ? x.mod(m_) : x;
+  u64 xa[kMaxLimbs];
+  load(r, xa);
+  cios(xa, r2limbs_.data(), out);
+}
+
+BigInt MontCtx::from_mont_raw(const u64* x) const {
+  u64 oneraw[kMaxLimbs] = {1};
+  u64 res[kMaxLimbs];
+  cios(x, oneraw, res);
+  return store(res);
+}
+
+void MontCtx::mul_raw(const u64* a, const u64* b, u64* out) const { cios(a, b, out); }
+
+void MontCtx::add_raw(const u64* a, const u64* b, u64* out) const {
+  const std::size_t n = n_;
+  const u64* m = mlimbs_.data();
+  u64 t[kMaxLimbs];
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    t[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  // Inputs < m, so a + b < 2m: at most one subtraction canonicalizes.
+  bool ge = carry != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != m[i]) {
+        ge = t[i] > m[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 need = static_cast<u128>(m[i]) + borrow;
+      out[i] = static_cast<u64>(static_cast<u128>(t[i]) - need);
+      borrow = static_cast<u128>(t[i]) < need ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+void MontCtx::sub_raw(const u64* a, const u64* b, u64* out) const {
+  const std::size_t n = n_;
+  const u64* m = mlimbs_.data();
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 ai = a[i];  // out may alias a: read before the write below
+    const u128 need = static_cast<u128>(b[i]) + borrow;
+    out[i] = static_cast<u64>(static_cast<u128>(ai) - need);
+    borrow = static_cast<u128>(ai) < need ? 1 : 0;
+  }
+  if (borrow) {
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 s = static_cast<u128>(out[i]) + m[i] + carry;
+      out[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+}
+
+bool MontCtx::cmp_arg_ge(const BigInt& x) const {
+  return BigInt::cmp_mag(x, m_) >= 0;
 }
 
 }  // namespace sp::crypto

@@ -57,13 +57,34 @@ class Curve {
   /// Group order q of the pairing subgroup.
   [[nodiscard]] const BigInt& order() const { return params_.q; }
 
+  /// Small Fp constants hoisted out of the group law (the affine/Jacobian
+  /// formulas used to rebuild these per call). Shared with the pairing.
+  struct Consts {
+    Fp one, two, three, four, eight;
+  };
+  [[nodiscard]] const Consts& consts() const { return consts_; }
+
   [[nodiscard]] bool on_curve(const Point& pt) const;
   [[nodiscard]] Point negate(const Point& pt) const;
   [[nodiscard]] Point add(const Point& a, const Point& b) const;
   [[nodiscard]] Point dbl(const Point& a) const;
-  /// Scalar multiplication (double-and-add; not constant-time — this is a
-  /// research reproduction, not a hardened implementation).
+  /// Scalar multiplication: width-4 wNAF over Jacobian coordinates, with a
+  /// fixed-base windowed table when `pt` has been registered via
+  /// precompute_fixed_base(). Not constant-time — this is a research
+  /// reproduction, not a hardened implementation.
   [[nodiscard]] Point mul(const Point& pt, const BigInt& k) const;
+  /// Plain binary double-and-add — the pre-wNAF algorithm, kept as the
+  /// randomized-equivalence oracle (tests/ec/test_scalar_mul.cpp).
+  [[nodiscard]] Point mul_binary(const Point& pt, const BigInt& k) const;
+
+  /// Builds (or refreshes) a fixed-base window table for `base` in a
+  /// process-wide cache keyed by (p, base); subsequent mul(base, k) calls
+  /// use it. Tables survive across Curve instances so long-lived generators
+  /// (CP-ABE g/h/f, the Schnorr generator) pay the build cost once per
+  /// process, not once per Session. Thread-safe; no-op for infinity.
+  void precompute_fixed_base(const Point& base) const;
+  /// True when mul(base, ·) would hit a cached fixed-base table.
+  [[nodiscard]] bool has_fixed_base(const Point& base) const;
 
   /// Deterministically maps bytes to a point in the order-q subgroup
   /// (try-and-increment x, then cofactor clearing). Never returns infinity.
@@ -77,8 +98,10 @@ class Curve {
 
  private:
   [[nodiscard]] Fp rhs(const Fp& x) const;  // x³ + x
+  [[nodiscard]] std::string table_key(const Point& base) const;
 
   CurveParams params_;
+  Consts consts_;
 };
 
 }  // namespace sp::ec

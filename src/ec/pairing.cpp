@@ -13,6 +13,98 @@ Fp2 Pairing::operator()(const Point& p, const Point& q) const {
     throw std::invalid_argument("Pairing: input not on curve");
   }
 
+  // Jacobian Miller loop: T = (X, Y, Z) with x_t = X/Z², y_t = Y/Z³, no
+  // inversion per step. Each line value is the affine one scaled by a
+  // non-zero F_p factor (Z3·Z2 for tangents, Z3 for chords); if the affine
+  // accumulator is f and ours is f' = c·f with c ∈ F_p, then
+  // conj(f')·f'^{-1} = conj(f)·f^{-1} exactly — conj fixes F_p — so the
+  // final exponentiation output is bit-identical to reference().
+  const Curve::Consts& cs = curve_->consts();
+  const Fp& x_p = p.x();
+  const Fp& y_p = p.y();
+  const Fp& x_q = q.x();
+  const Fp& y_q = q.y();
+  const crypto::BigInt& order = curve_->order();
+  Fp2 f = Fp2::one(fp);
+  Fp tx = p.x();
+  Fp ty = p.y();
+  Fp tz = cs.one;
+  const std::size_t nbits = order.bit_length();
+  for (std::size_t i = nbits - 1; i-- > 0;) {
+    {
+      // Tangent step: doubling on y² = x³ + x with M = 3X² + Z⁴.
+      const Fp z2 = tz * tz;
+      const Fp y2 = ty * ty;
+      const Fp m = cs.three * tx * tx + z2 * z2;
+      const Fp s = cs.four * tx * y2;
+      const Fp x3 = m * m - s - s;
+      const Fp y3 = m * (s - x3) - cs.eight * y2 * y2;
+      const Fp z3 = (ty + ty) * tz;
+      // Affine tangent line at T, evaluated at φ(Q) and scaled by Z3·Z2.
+      const Fp l_re = m * (z2 * x_q + tx) - (y2 + y2);
+      const Fp l_im = z3 * z2 * y_q;
+      f = f * f * Fp2(l_re, l_im);
+      tx = x3;
+      ty = y3;
+      tz = z3;
+    }
+    if (order.bit(i)) {
+      const Fp z2 = tz * tz;
+      const Fp u2 = x_p * z2;
+      const Fp s2 = y_p * z2 * tz;
+      const Fp h = u2 - tx;
+      const Fp r = s2 - ty;
+      if (h.is_zero()) {
+        // T = ±P: chord is vertical (value in F_p, eliminated) or tangent
+        // (cannot occur mid-loop for order-q P). Update via group law.
+        if (r.is_zero()) {
+          const Fp y2 = ty * ty;
+          const Fp m = cs.three * tx * tx + z2 * z2;
+          const Fp s = cs.four * tx * y2;
+          const Fp x3 = m * m - s - s;
+          const Fp y3 = m * (s - x3) - cs.eight * y2 * y2;
+          const Fp z3 = (ty + ty) * tz;
+          tx = x3;
+          ty = y3;
+          tz = z3;
+        } else {
+          // T + (−P) = O; mirrors the affine loop, which also leaves the
+          // accumulator untouched and lets the next step fail loudly.
+          tx = Fp::zero(fp);
+          ty = Fp::zero(fp);
+          tz = Fp::zero(fp);
+        }
+      } else {
+        const Fp h2 = h * h;
+        const Fp h3 = h2 * h;
+        const Fp uh2 = tx * h2;
+        const Fp x3 = r * r - h3 - uh2 - uh2;
+        const Fp y3 = r * (uh2 - x3) - ty * h3;
+        const Fp z3 = tz * h;
+        // Chord through T and P, evaluated at φ(Q) and scaled by Z3.
+        const Fp l_re = r * (x_q + x_p) - y_p * z3;
+        const Fp l_im = z3 * y_q;
+        f = f * Fp2(l_re, l_im);
+        tx = x3;
+        ty = y3;
+        tz = z3;
+      }
+    }
+  }
+
+  // Final exponentiation: f^((p²−1)/q) = (conj(f)·f^{-1})^(h) with
+  // h = (p+1)/q, because f^p = conj(f) in F_p[i] when p ≡ 3 (mod 4).
+  const Fp2 f_p_minus_1 = f.conj() * f.inv();
+  return f_p_minus_1.pow(curve_->params().h);
+}
+
+Fp2 Pairing::reference(const Point& p, const Point& q) const {
+  const auto& fp = curve_->fp();
+  if (p.is_infinity() || q.is_infinity()) return Fp2::one(fp);
+  if (!curve_->on_curve(p) || !curve_->on_curve(q)) {
+    throw std::invalid_argument("Pairing: input not on curve");
+  }
+
   // Affine Miller loop with the slope shared between the line evaluation
   // and the point update — one field inversion per step instead of two.
   const Fp one = Fp::one(fp);

@@ -21,8 +21,15 @@ class Pairing {
 
   /// ê(P, Q). Both points must lie in the order-q subgroup; ê(P, P) ≠ 1 for
   /// P ≠ O (the distortion map makes the "self-pairing" non-degenerate).
-  /// Returns 1 ∈ F_{p²} when either argument is infinity.
+  /// Returns 1 ∈ F_{p²} when either argument is infinity. Inversion-free
+  /// Jacobian Miller loop; the per-step F_p scale factors it introduces
+  /// cancel exactly in the final exponentiation, so the value is identical
+  /// to reference().
   [[nodiscard]] Fp2 operator()(const Point& p, const Point& q) const;
+
+  /// The original affine Miller loop (one field inversion per step), kept
+  /// as the equivalence oracle for the Jacobian rewrite.
+  [[nodiscard]] Fp2 reference(const Point& p, const Point& q) const;
 
   /// The pairing target group's identity, for comparisons.
   [[nodiscard]] Fp2 one() const { return Fp2::one(curve_->fp()); }

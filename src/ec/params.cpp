@@ -51,8 +51,10 @@ CurveParams generate_params(std::size_t q_bits, std::size_t p_bits, std::string_
 }
 
 const CurveParams& preset_params(ParamPreset preset) {
-  // Each preset is generated lazily on first use (block-scope statics), so a
-  // toy-only test run never pays for the 512-bit search.
+  // Each preset is generated lazily on first use. Block-scope statics are
+  // thread-safe in C++11 (concurrent first calls serialize on the guard), so
+  // parallel sessions can share presets — and the fixed-base tables keyed on
+  // them — without external locking.
   switch (preset) {
     case ParamPreset::kToy: {
       static const CurveParams toy = generate_params(48, 96, "sp-preset-toy-v1");

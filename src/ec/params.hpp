@@ -22,8 +22,10 @@ enum class ParamPreset { kToy, kTest, kFull };
 /// `p_bits`. Everything is derived from `seed`, so runs are reproducible.
 CurveParams generate_params(std::size_t q_bits, std::size_t p_bits, std::string_view seed);
 
-/// Returns (and caches) the preset parameters. Thread-compatible: intended
-/// for single-threaded test/bench use.
+/// Returns (and caches) the preset parameters. Thread-safe: each preset is
+/// a C++11 magic static, so concurrent first calls block until one thread
+/// finishes generating, and every caller sees the same object. Safe to use
+/// as the anchor for shared precomputation tables (Curve fixed-base cache).
 const CurveParams& preset_params(ParamPreset preset);
 
 }  // namespace sp::ec

@@ -13,6 +13,8 @@ FpCtx::FpCtx(BigInt p) : p_(std::move(p)) {
   // Barrett precomputation: μ = floor(2^(2s) / p) with s = bit_length(p).
   shift_ = p_.bit_length();
   mu_ = (BigInt{1} << (2 * shift_)) / p_;
+  p_minus_2_ = p_ - BigInt{2};
+  if (crypto::MontCtx::usable(p_)) mont_.emplace(p_);
 }
 
 BigInt FpCtx::reduce(const BigInt& x) const {
@@ -24,15 +26,35 @@ BigInt FpCtx::reduce(const BigInt& x) const {
   return r;
 }
 
-BigInt FpCtx::mul_mod(const BigInt& a, const BigInt& b) const { return reduce(a * b); }
+BigInt FpCtx::mul_mod(const BigInt& a, const BigInt& b) const {
+  if (mont_) return mont_->mul(a, b);
+  return reduce(a * b);
+}
 
 BigInt FpCtx::pow_mod(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) throw std::domain_error("FpCtx::pow_mod: negative exponent");
+  if (mont_) return mont_->pow(base, exp);
+  return pow_mod_barrett(base, exp);
+}
+
+BigInt FpCtx::inv_mod(const BigInt& a) const {
+  const BigInt r = a.mod(p_);
+  if (r.is_zero()) throw std::domain_error("FpCtx::inv_mod: zero has no inverse");
+  // Fermat: a^{p-2} = a^{-1} for prime p. Faster than extended Euclid here
+  // because Euclid's per-step Knuth-D division dwarfs CIOS multiplies.
+  if (mont_) return mont_->pow(r, p_minus_2_);
+  return BigInt::mod_inv(r, p_);
+}
+
+BigInt FpCtx::mul_mod_barrett(const BigInt& a, const BigInt& b) const { return reduce(a * b); }
+
+BigInt FpCtx::pow_mod_barrett(const BigInt& base, const BigInt& exp) const {
   if (exp.is_negative()) throw std::domain_error("FpCtx::pow_mod: negative exponent");
   BigInt result{1};
   const BigInt b = base.mod(p_);
   for (std::size_t i = exp.bit_length(); i-- > 0;) {
-    result = mul_mod(result, result);
-    if (exp.bit(i)) result = mul_mod(result, b);
+    result = mul_mod_barrett(result, result);
+    if (exp.bit(i)) result = mul_mod_barrett(result, b);
   }
   return result;
 }
@@ -121,7 +143,7 @@ Fp Fp::inv() const {
   if (is_zero()) throw std::domain_error("Fp::inv: zero has no inverse");
   Fp r;
   r.ctx_ = ctx_;
-  r.v_ = BigInt::mod_inv(v_, ctx_->p());
+  r.v_ = ctx_->inv_mod(v_);
   return r;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "crypto/bigint.hpp"
@@ -32,14 +33,29 @@ class FpCtx {
   /// Barrett reduction of x in [0, p²) — division-free, precomputed μ.
   /// Falls back to plain mod for out-of-range or negative inputs.
   [[nodiscard]] BigInt reduce(const BigInt& x) const;
-  /// (a*b) mod p via Barrett; operands must already be reduced.
+  /// (a*b) mod p — Montgomery CIOS when p fits MontCtx, else Barrett.
+  /// Operands must already be reduced.
   [[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b) const;
-  /// base^exp mod p via Barrett square-and-multiply (exp >= 0).
+  /// base^exp mod p (exp >= 0) — fixed-window Montgomery when available,
+  /// else Barrett square-and-multiply.
   [[nodiscard]] BigInt pow_mod(const BigInt& base, const BigInt& exp) const;
+  /// a^{-1} mod p via Fermat (a^{p-2}) on the Montgomery path, extended
+  /// Euclid otherwise. Throws std::domain_error on zero.
+  [[nodiscard]] BigInt inv_mod(const BigInt& a) const;
+
+  // Barrett-only paths, kept alive as the randomized-equivalence oracle for
+  // the Montgomery rewrite (tests/crypto/test_montgomery.cpp).
+  [[nodiscard]] BigInt mul_mod_barrett(const BigInt& a, const BigInt& b) const;
+  [[nodiscard]] BigInt pow_mod_barrett(const BigInt& base, const BigInt& exp) const;
+
+  /// Montgomery context for p, if p fits (always true for the presets).
+  [[nodiscard]] const std::optional<crypto::MontCtx>& mont() const { return mont_; }
 
  private:
   BigInt p_;
   BigInt mu_;             ///< floor(2^(2·shift) / p) for Barrett
+  BigInt p_minus_2_;      ///< Fermat inversion exponent
+  std::optional<crypto::MontCtx> mont_;
   std::size_t shift_ = 0; ///< bit shift = bit_length(p) rounded up usage
   std::size_t byte_len_;
   bool p3mod4_;

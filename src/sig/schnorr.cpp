@@ -13,6 +13,9 @@ Schnorr::Schnorr(const ec::Curve& curve, ec::Point generator)
   if (g_.is_infinity() || !curve_->on_curve(g_)) {
     throw std::invalid_argument("Schnorr: bad generator");
   }
+  // Every keygen/sign/verify exponentiates g_; the process-wide window
+  // table makes those fixed-base multiplications.
+  curve_->precompute_fixed_base(g_);
 }
 
 KeyPair Schnorr::keygen(crypto::Drbg& rng) const {

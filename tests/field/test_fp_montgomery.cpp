@@ -1,0 +1,85 @@
+#include "field/fp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace sp::field {
+namespace {
+
+using crypto::BigInt;
+using crypto::Drbg;
+
+// The FpCtx fast paths (Montgomery CIOS mul, fixed-window pow, Fermat
+// inversion) against the Barrett oracle the rewrite kept alive. Mersenne
+// primes give odd prime moduli at both preset-like widths without pulling
+// in the ec parameter search.
+FpCtxPtr field_127() { return make_fp((BigInt{1} << 127) - BigInt{1}); }
+FpCtxPtr field_521() { return make_fp((BigInt{1} << 521) - BigInt{1}); }
+
+TEST(FpMontgomery, ContextsExposeMontgomery) {
+  EXPECT_TRUE(field_127()->mont().has_value());
+  EXPECT_TRUE(field_521()->mont().has_value());
+  // Wider than MontCtx's 1024-bit cap: still a valid field, Barrett-only.
+  const FpCtxPtr wide = make_fp((BigInt{1} << 1279) - BigInt{1});
+  EXPECT_FALSE(wide->mont().has_value());
+  Drbg rng("fp-wide");
+  const Fp a = Fp::random_nonzero(wide, rng);
+  EXPECT_EQ((a * a.inv()).value(), BigInt{1});
+}
+
+TEST(FpMontgomery, MulModMatchesBarrett1k) {
+  const FpCtxPtr ctx = field_127();
+  Drbg rng("fp-mont-mul");
+  for (int i = 0; i < 1000; ++i) {
+    const BigInt a = Fp::random(ctx, rng).value();
+    const BigInt b = Fp::random(ctx, rng).value();
+    EXPECT_EQ(ctx->mul_mod(a, b), ctx->mul_mod_barrett(a, b))
+        << "i=" << i << " a=" << a.to_hex() << " b=" << b.to_hex();
+  }
+}
+
+TEST(FpMontgomery, PowModMatchesBarrett) {
+  const FpCtxPtr ctx = field_127();
+  Drbg rng("fp-mont-pow");
+  for (int i = 0; i < 100; ++i) {
+    const BigInt base = Fp::random(ctx, rng).value();
+    const BigInt exp = BigInt::from_bytes(rng.bytes(1 + i % 48));
+    EXPECT_EQ(ctx->pow_mod(base, exp), ctx->pow_mod_barrett(base, exp)) << "i=" << i;
+  }
+}
+
+TEST(FpMontgomery, PowModWideFieldSpotChecks) {
+  const FpCtxPtr ctx = field_521();
+  Drbg rng("fp-mont-pow-521");
+  for (int i = 0; i < 10; ++i) {
+    const BigInt base = Fp::random(ctx, rng).value();
+    const BigInt exp = BigInt::from_bytes(rng.bytes(20));
+    EXPECT_EQ(ctx->pow_mod(base, exp), ctx->pow_mod_barrett(base, exp)) << "i=" << i;
+  }
+}
+
+TEST(FpMontgomery, FermatInversionMatchesEuclid) {
+  const FpCtxPtr ctx = field_127();
+  Drbg rng("fp-mont-inv");
+  for (int i = 0; i < 200; ++i) {
+    const Fp a = Fp::random_nonzero(ctx, rng);
+    const BigInt inv = ctx->inv_mod(a.value());
+    EXPECT_EQ(inv, BigInt::mod_inv(a.value(), ctx->p())) << "i=" << i;
+    EXPECT_EQ(ctx->mul_mod(a.value(), inv), BigInt{1});
+  }
+  EXPECT_THROW(ctx->inv_mod(BigInt{0}), std::domain_error);
+  EXPECT_THROW(ctx->inv_mod(ctx->p()), std::domain_error);  // ≡ 0 mod p
+}
+
+TEST(FpMontgomery, FpInvRoundTrips) {
+  const FpCtxPtr ctx = field_127();
+  Drbg rng("fp-inv-consistency");
+  for (int i = 0; i < 100; ++i) {
+    const Fp a = Fp::random_nonzero(ctx, rng);
+    EXPECT_EQ((a * a.inv()).value(), BigInt{1});
+  }
+}
+
+}  // namespace
+}  // namespace sp::field

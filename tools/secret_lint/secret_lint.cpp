@@ -500,8 +500,15 @@ void collect(const fs::path& root, std::vector<fs::path>& files) {
     if (scannable(root)) files.push_back(root);
     return;
   }
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (entry.is_regular_file() && scannable(entry.path())) files.push_back(entry.path());
+  for (auto it = fs::recursive_directory_iterator(root); it != fs::recursive_directory_iterator();
+       ++it) {
+    // `fixtures` directories hold intentional rule violations for the
+    // selftest; skip them so tools/ itself can be scanned clean.
+    if (it->is_directory() && it->path().filename() == "fixtures") {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && scannable(it->path())) files.push_back(it->path());
   }
 }
 
