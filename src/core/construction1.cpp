@@ -71,6 +71,14 @@ Construction1::UploadResult Construction1::upload(std::span<const std::uint8_t> 
     entry.answer_hash = answer_hash(pair.answer, puzzle.puzzle_key);
     Bytes share_wire = shamir_.serialize(shares[i]);
     Bytes answer_bytes = crypto::to_bytes(Context::normalize_answer(pair.answer));
+    // Context already rejects empty normalized answers, but this layer is
+    // reachable with a hand-built Context object too — and an empty blinding
+    // key makes xor_cycle the identity, publishing the share in cleartext.
+    if (answer_bytes.empty()) {
+      crypto::secure_wipe(share_wire);
+      throw std::invalid_argument(
+          "Construction1::upload: answer normalizes to empty; share would be unblinded");
+    }
     entry.blinded_share = crypto::xor_cycle(share_wire, answer_bytes);
     // The unblinded share and cleartext answer must not outlive the loop.
     crypto::secure_wipe(share_wire);

@@ -9,14 +9,29 @@
 
 namespace sp::core {
 
+namespace {
+// An answer that normalizes to "" is rejected outright: Construction 1
+// blinds each Shamir share by XOR-cycling it with the normalized answer, and
+// xor_cycle with an empty key is the identity — the share would reach the SP
+// *unblinded* inside the public puzzle Z_O.
+void require_usable_answer(const std::string& answer) {
+  if (Context::normalize_answer(answer).empty()) {
+    throw std::invalid_argument(
+        "Context: answer normalizes to empty (would leave its share unblinded)");
+  }
+}
+}  // namespace
+
 Context::Context(std::vector<ContextPair> pairs) : pairs_(std::move(pairs)) {
   for (const auto& p : pairs_) {
     if (p.question.empty()) throw std::invalid_argument("Context: empty question");
+    require_usable_answer(p.answer);
   }
 }
 
 void Context::add(std::string question, std::string answer) {
   if (question.empty()) throw std::invalid_argument("Context: empty question");
+  require_usable_answer(answer);
   pairs_.push_back(ContextPair{std::move(question), std::move(answer)});
 }
 

@@ -1,6 +1,10 @@
 #include "core/session.hpp"
 
+#include <exception>
 #include <stdexcept>
+#include <thread>
+
+#include "core/thread_pool.hpp"
 
 namespace sp::core {
 
@@ -17,9 +21,18 @@ Session::Session(SessionConfig config)
       network_(config_.link, crypto::Drbg(config_.seed + "-net")),
       rng_(config_.seed + "-session") {}
 
+crypto::Drbg Session::fork_rng(const std::string& label) const {
+  const std::lock_guard<std::mutex> lock(rng_mutex_);
+  return rng_.fork(label);
+}
+
 osn::UserId Session::register_user(const std::string& name) {
   const osn::UserId id = graph_.add_user(name);
-  crypto::Drbg key_rng = rng_.fork("user-keys-" + std::to_string(id));
+  crypto::Drbg key_rng = fork_rng("user-keys-" + std::to_string(id));
+  // Emplace straight into the map (no intermediate KeyPair copy that would
+  // leave an unwiped secret on the stack); keygen under the lock is fine —
+  // registration is rare compared to serving.
+  const std::lock_guard<std::mutex> lock(keys_mutex_);
   user_keys_.emplace(id, sig::Schnorr(curve_, curve_.hash_to_group(crypto::to_bytes("sp-schnorr-g")))
                              .keygen(key_rng));
   return id;
@@ -30,13 +43,19 @@ void Session::befriend(osn::UserId a, osn::UserId b) { graph_.befriend(a, b); }
 ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t> object,
                                const Context& ctx, std::size_t k, std::size_t n,
                                const net::DeviceProfile& device, osn::Visibility visibility) {
-  const sig::KeyPair& keys = user_keys_.at(sharer);
-  crypto::Drbg op_rng = rng_.fork("share-c1");
+  // Map nodes are stable and keys are never erased, so the reference stays
+  // valid after the lookup lock drops.
+  const sig::KeyPair* keys = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(keys_mutex_);
+    keys = &user_keys_.at(sharer);
+  }
+  crypto::Drbg op_rng = fork_rng("share-c1");
   net::CostLedger ledger(device);
 
   // -- local: Upload subroutine (crypto) --------------------------------
   CpuTimer timer;
-  auto result = c1_->upload(object, ctx, k, n, keys, op_rng);
+  auto result = c1_->upload(object, ctx, k, n, *keys, op_rng);
   ledger.add_local_measured(timer.elapsed_ms());
 
   // -- network: store O_{K_O} at the DH ---------------------------------
@@ -47,7 +66,7 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   // -- local: patch URL_O and re-sign (DoS countermeasure) --------------
   timer.reset();
   result.puzzle.url = url;
-  c1_->sign_puzzle(result.puzzle, keys);
+  c1_->sign_puzzle(result.puzzle, *keys);
   const Bytes record = result.puzzle.serialize();
   ledger.add_local_measured(timer.elapsed_ms());
 
@@ -62,7 +81,10 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   stored.visibility = visibility;
   stored.puzzle = std::move(result.puzzle);
   stored.url = url;
-  puzzles_.emplace(post_id, std::move(stored));
+  {
+    const std::unique_lock<std::shared_mutex> lock(puzzles_mutex_);
+    puzzles_.emplace(post_id, std::move(stored));
+  }
 
   graph_.post(osn::Post{sharer, post_id, "shared a social puzzle", visibility});
   return ShareReceipt{post_id, ledger, object.size()};
@@ -71,7 +93,7 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
 ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t> object,
                                const Context& ctx, std::size_t k,
                                const net::DeviceProfile& device, osn::Visibility visibility) {
-  crypto::Drbg op_rng = rng_.fork("share-c2");
+  crypto::Drbg op_rng = fork_rng("share-c2");
   net::CostLedger ledger(device);
 
   // -- local: Setup + Encrypt + Perturb (the heavy CP-ABE work) ----------
@@ -108,7 +130,10 @@ ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t>
   stored.url = url;
 
   const std::string post_id = sp_.store_record(details);
-  puzzles_.emplace(post_id, std::move(stored));
+  {
+    const std::unique_lock<std::shared_mutex> lock(puzzles_mutex_);
+    puzzles_.emplace(post_id, std::move(stored));
+  }
   graph_.post(osn::Post{sharer, post_id, "shared a social puzzle (ABE)", visibility});
   return ShareReceipt{post_id, ledger, object.size()};
 }
@@ -116,6 +141,10 @@ ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t>
 ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
                               std::span<const std::uint8_t> object, const Context& ctx,
                               const net::DeviceProfile& device) {
+  // Single-writer path: exclusive for the whole body so concurrent accesses
+  // see the old puzzle until the new one (record, blob, registry entry) is
+  // complete. See DESIGN.md for the lock order.
+  const std::unique_lock<std::shared_mutex> registry_lock(puzzles_mutex_);
   auto it = puzzles_.find(post_id);
   if (it == puzzles_.end()) throw std::out_of_range("Session::refresh: unknown post " + post_id);
   StoredPuzzle& stored = it->second;
@@ -125,15 +154,19 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
 
   const std::string old_url = stored.url;
   net::CostLedger ledger(device);
-  crypto::Drbg op_rng = rng_.fork("refresh-" + post_id);
+  crypto::Drbg op_rng = fork_rng("refresh-" + post_id);
 
   if (stored.kind == SchemeKind::kConstruction1) {
-    const sig::KeyPair& keys = user_keys_.at(sharer);
+    const sig::KeyPair* keys = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(keys_mutex_);
+      keys = &user_keys_.at(sharer);
+    }
     const std::size_t k = stored.puzzle->threshold;
     const std::size_t n = stored.puzzle->n();
 
     CpuTimer timer;
-    auto result = c1_->upload(object, ctx, k, n, keys, op_rng);
+    auto result = c1_->upload(object, ctx, k, n, *keys, op_rng);
     ledger.add_local_measured(timer.elapsed_ms());
 
     ledger.add_network(network_.transfer_ms(result.encrypted_object.size()));
@@ -142,7 +175,7 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
 
     timer.reset();
     result.puzzle.url = url;
-    c1_->sign_puzzle(result.puzzle, keys);
+    c1_->sign_puzzle(result.puzzle, *keys);
     const Bytes record = result.puzzle.serialize();
     ledger.add_local_measured(timer.elapsed_ms());
 
@@ -185,7 +218,10 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
 }
 
 AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
-                             const Knowledge& knowledge, const net::DeviceProfile& device) {
+                             const Knowledge& knowledge, const net::DeviceProfile& device) const {
+  // Shared for the whole request: many accesses proceed in parallel, while
+  // refresh (exclusive) waits for in-flight requests and blocks new ones.
+  const std::shared_lock<std::shared_mutex> registry_lock(puzzles_mutex_);
   const auto it = puzzles_.find(post_id);
   if (it == puzzles_.end()) throw std::out_of_range("Session::access: unknown post " + post_id);
   const StoredPuzzle& stored = it->second;
@@ -197,7 +233,7 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
     throw std::logic_error("Session::access: receiver is not in the sharer's network");
   }
   net::CostLedger ledger(device);
-  crypto::Drbg op_rng = rng_.fork("access-" + post_id);
+  crypto::Drbg op_rng = fork_rng("access-" + post_id);
   if (stored.kind == SchemeKind::kConstruction1) {
     return access_c1(stored, knowledge, ledger, op_rng);
   }
@@ -206,7 +242,7 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
 
 AccessResult Session::access_with_retries(osn::UserId receiver, const std::string& post_id,
                                           const Knowledge& knowledge,
-                                          const net::DeviceProfile& device, int max_draws) {
+                                          const net::DeviceProfile& device, int max_draws) const {
   if (max_draws < 1) throw std::invalid_argument("access_with_retries: max_draws >= 1");
   AccessResult result;
   for (int draw = 0; draw < max_draws; ++draw) {
@@ -216,8 +252,40 @@ AccessResult Session::access_with_retries(osn::UserId receiver, const std::strin
   return result;
 }
 
+std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest> requests,
+                                                   std::size_t num_threads) const {
+  std::vector<AccessResult> results(requests.size());
+  if (requests.empty()) return results;
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, requests.size());
+  std::vector<std::exception_ptr> errors(requests.size());
+  {
+    // Queue bound = 2x workers: enough to keep every worker fed while the
+    // submitting thread applies back-pressure instead of buffering the
+    // whole batch.
+    ThreadPool pool(num_threads, 2 * num_threads);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      pool.submit([this, &requests, &results, &errors, i] {
+        try {
+          const AccessRequest& req = requests[i];
+          results[i] = access(req.receiver, req.post_id, req.knowledge, req.device);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return results;
+}
+
 AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng) {
+                                net::CostLedger& ledger, crypto::Drbg& rng) const {
   const Puzzle& puzzle = *stored.puzzle;
 
   // -- SP: DisplayPuzzle; network: challenge download -------------------
@@ -239,7 +307,6 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   ledger.add_bytes(response.wire_size() + reply.wire_size());
 
   AccessResult result;
-  result.cost = ledger;
   result.granted = reply.granted;
   if (!reply.granted) {
     result.cost = ledger;
@@ -278,7 +345,7 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
 }
 
 AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng) {
+                                net::CostLedger& ledger, crypto::Drbg& rng) const {
   const auto& files = *stored.c2_files;
 
   // -- network: download details (τ' questions) --------------------------

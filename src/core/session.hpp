@@ -7,10 +7,21 @@
 // the benchmark harness both drive it — but every protocol step is also
 // reachable individually through Construction1/Construction2 for callers
 // that bring their own transport.
+//
+// Concurrency model (DESIGN.md §"Concurrent serving core" has the full
+// story): the receiver-side path — access / access_with_retries /
+// access_parallel — is const and reentrant; any number of threads may serve
+// accesses concurrently, including while sharer-side writers (register_user,
+// befriend, share_*, refresh) run. Writers are individually thread-safe but
+// serialize against each other and against readers on the puzzle registry's
+// shared_mutex where they must.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
 
 #include "core/construction1.hpp"
 #include "core/construction2.hpp"
@@ -79,6 +90,10 @@ class Session {
   /// Only the original sharer may refresh (throws std::logic_error
   /// otherwise). The sharer supplies the object and context again — neither
   /// is recoverable from the hosts, by design.
+  ///
+  /// Refresh is the single-writer path: it holds the puzzle registry's
+  /// exclusive lock for the whole re-upload, so in-flight accesses always
+  /// see either the old or the new puzzle, never a mix.
   ShareReceipt refresh(osn::UserId sharer, const std::string& post_id,
                        std::span<const std::uint8_t> object, const Context& ctx,
                        const net::DeviceProfile& device);
@@ -87,8 +102,9 @@ class Session {
   /// Full receiver flow for a feed hyperlink. Enforces OSN visibility: only
   /// the sharer's friends reach the puzzle (throws std::logic_error
   /// otherwise — the paper delegates stranger-blocking to Facebook ACLs).
+  /// Const and reentrant: safe to call from many threads at once.
   AccessResult access(osn::UserId receiver, const std::string& post_id,
-                      const Knowledge& knowledge, const net::DeviceProfile& device);
+                      const Knowledge& knowledge, const net::DeviceProfile& device) const;
 
   /// Construction 1's DisplayPuzzle shows a random r-subset of questions, so
   /// a receiver who knows enough answers overall can still draw a challenge
@@ -97,7 +113,23 @@ class Session {
   /// last failure, with the cost of that final attempt.
   AccessResult access_with_retries(osn::UserId receiver, const std::string& post_id,
                                    const Knowledge& knowledge,
-                                   const net::DeviceProfile& device, int max_draws = 8);
+                                   const net::DeviceProfile& device, int max_draws = 8) const;
+
+  /// One receiver request inside an access_parallel batch.
+  struct AccessRequest {
+    osn::UserId receiver = 0;
+    std::string post_id;
+    Knowledge knowledge;
+    net::DeviceProfile device = net::pc_profile();
+  };
+
+  /// Fans a batch of access requests over a bounded-queue thread pool and
+  /// returns one result per request, in request order. `num_threads` == 0
+  /// picks hardware_concurrency (at least 1). A request that throws (unknown
+  /// post, OSN ACL violation) poisons only its own slot: after the whole
+  /// batch completes, the first captured exception is rethrown.
+  std::vector<AccessResult> access_parallel(std::span<const AccessRequest> requests,
+                                            std::size_t num_threads = 0) const;
 
   /// A user's view of their feed.
   [[nodiscard]] std::vector<osn::Post> feed_of(osn::UserId user) const {
@@ -120,10 +152,15 @@ class Session {
     std::string url;
   };
 
+  /// Forks a per-operation child DRBG under rng_mutex_ (Drbg::fork advances
+  /// the parent stream, so unsynchronized forks would race). The child is
+  /// exclusively owned by the calling operation — no further locking.
+  crypto::Drbg fork_rng(const std::string& label) const;
+
   AccessResult access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng);
+                         net::CostLedger& ledger, crypto::Drbg& rng) const;
   AccessResult access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng);
+                         net::CostLedger& ledger, crypto::Drbg& rng) const;
 
   SessionConfig config_;
   ec::Curve curve_;
@@ -133,8 +170,14 @@ class Session {
   osn::ServiceProvider sp_;
   osn::StorageHost dh_;
   net::Network network_;
-  crypto::Drbg rng_;
+  mutable std::mutex rng_mutex_;
+  mutable crypto::Drbg rng_;
+  std::mutex keys_mutex_;  ///< guards user_keys_ lookups/inserts (nodes are stable)
   std::map<osn::UserId, sig::KeyPair> user_keys_;
+  /// Readers (access*) hold this shared for the whole request so refresh
+  /// can't mutate a puzzle out from under them; share_* take it exclusively
+  /// only around registry insertion, refresh for its whole body.
+  mutable std::shared_mutex puzzles_mutex_;
   std::map<std::string, StoredPuzzle> puzzles_;  ///< SP-side protocol state
 };
 

@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a BOUNDED work queue — the execution engine
+// behind Session::access_parallel and the concurrent load harness.
+//
+// The queue bound is the back-pressure mechanism a serving front-end needs:
+// when all workers are busy and the queue is full, `submit` blocks the
+// producer instead of letting the backlog (and its memory) grow without
+// limit. A production ingress would shed load at this point; the simulation
+// prefers blocking so batches always complete.
+//
+// Lifecycle: workers start in the constructor and are joined in the
+// destructor after draining everything already submitted. `wait_idle` lets a
+// caller reuse the pool across batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sp::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1 enforced). `queue_capacity` bounds
+  /// the number of tasks waiting for a worker (>= 1 enforced).
+  explicit ThreadPool(std::size_t num_threads, std::size_t queue_capacity = 64);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks while the queue is at capacity. Tasks must not
+  /// throw — wrap fallible work and capture its std::exception_ptr.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable queue_has_space_;  ///< signaled when a task is popped
+  std::condition_variable queue_has_work_;   ///< signaled when a task is pushed
+  std::condition_variable all_done_;         ///< signaled when in_flight_ hits 0
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sp::core

@@ -15,7 +15,7 @@ LinkProfile wlan_80211n_to_ec2() {
 
 LinkProfile loopback() { return LinkProfile{"loopback", 100000.0, 0.0, 0.0, 0.0}; }
 
-double Network::transfer_ms(std::size_t bytes, int round_trips) {
+double Network::transfer_ms(std::size_t bytes, int round_trips) const {
   if (round_trips < 1) throw std::invalid_argument("Network::transfer_ms: round_trips >= 1");
   const double payload_ms =
       (static_cast<double>(bytes) * 8.0) / (link_.bandwidth_mbps * 1000.0);
@@ -24,7 +24,12 @@ double Network::transfer_ms(std::size_t bytes, int round_trips) {
   if (link_.jitter_frac <= 0.0) return base;
   // Uniform multiplicative jitter in [1, 1 + jitter_frac) — deterministic
   // given the seed, mirroring the paper's observed instability.
-  const double factor = 1.0 + link_.jitter_frac * rng_.uniform_real();
+  double sample = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    sample = rng_.uniform_real();
+  }
+  const double factor = 1.0 + link_.jitter_frac * sample;
   return base * factor;
 }
 

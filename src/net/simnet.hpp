@@ -18,7 +18,9 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
+#include <type_traits>
 
 #include "crypto/drbg.hpp"
 
@@ -63,7 +65,12 @@ LinkProfile wlan_80211n_to_ec2();
 /// Zero-cost link for pure-CPU experiments.
 LinkProfile loopback();
 
-/// Deterministic network delay model.
+/// Deterministic network delay model. Thread-safe: the shared jitter stream
+/// sits behind an internal mutex, so concurrent requests can all charge
+/// their transfers to one Network. Which request draws which jitter sample
+/// becomes scheduling-dependent under concurrency, but the sample *set* for
+/// a given seed stays fixed. `const` because modeling a transfer doesn't
+/// change the link — it lets the whole receiver-side serving path be const.
 class Network {
  public:
   Network(LinkProfile link, crypto::Drbg jitter_rng)
@@ -71,16 +78,22 @@ class Network {
 
   /// Delay for one request/response exchange moving `bytes` of payload.
   /// `round_trips` models chatty exchanges (e.g. multi-file uploads).
-  double transfer_ms(std::size_t bytes, int round_trips = 1);
+  double transfer_ms(std::size_t bytes, int round_trips = 1) const;
 
   [[nodiscard]] const LinkProfile& link() const { return link_; }
 
  private:
   LinkProfile link_;
-  crypto::Drbg rng_;
+  mutable std::mutex rng_mutex_;
+  mutable crypto::Drbg rng_;
 };
 
 /// Accumulates the Fig. 10 decomposition for one protocol run.
+///
+/// Concurrency contract: a ledger is a plain value — every request owns its
+/// own copy and no ledger is ever shared between threads. The serving core
+/// constructs one per access/share call and hands it back inside the
+/// result, so ledgers need (and have) no locks.
 class CostLedger {
  public:
   /// Defaults to the PC profile (cpu_scale 1.0).
@@ -106,5 +119,10 @@ class CostLedger {
   double network_ms_ = 0;
   std::size_t bytes_ = 0;
 };
+
+// The per-request-copy contract above only holds while ledgers stay freely
+// copyable values; adding a lock or reference member would break it.
+static_assert(std::is_copy_constructible_v<CostLedger> && std::is_copy_assignable_v<CostLedger>,
+              "CostLedger must stay a per-request copyable value type");
 
 }  // namespace sp::net

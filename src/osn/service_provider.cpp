@@ -8,31 +8,39 @@
 namespace sp::osn {
 
 ServiceProvider::~ServiceProvider() {
-  for (auto& [id, rec] : records_) crypto::secure_wipe(rec);
+  // No lock: by the time the destructor runs, no other thread may touch the
+  // object (the usual C++ lifetime rule; the hammer tests join first).
+  records_.for_each_mutable([](const std::string&, Bytes& rec) { crypto::secure_wipe(rec); });
   for (auto& obs : observations_) crypto::secure_wipe(obs.data);
 }
 
 std::string ServiceProvider::store_record(Bytes record) {
-  const std::string id = "puzzle-" + std::to_string(next_++);
-  records_.emplace(id, std::move(record));
+  // fetch_add keeps ids unique under concurrent stores; which thread gets
+  // which id is scheduling-dependent, but every id is issued exactly once.
+  const std::string id = "puzzle-" + std::to_string(next_.fetch_add(1, std::memory_order_relaxed));
+  records_.put(id, std::move(record));
   return id;
 }
 
-const Bytes& ServiceProvider::record(const std::string& puzzle_id) const {
-  const auto it = records_.find(puzzle_id);
-  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle " + puzzle_id);
-  return it->second;
+Bytes ServiceProvider::record(const std::string& puzzle_id) const {
+  return records_.get(puzzle_id, "ServiceProvider");
 }
 
 void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record) {
-  auto it = records_.find(puzzle_id);
-  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle " + puzzle_id);
-  crypto::secure_wipe(it->second);  // refresh must not leave the old puzzle readable
-  it->second = std::move(record);
+  records_.mutate(puzzle_id, "ServiceProvider", [&record](Bytes& stored) {
+    crypto::secure_wipe(stored);  // refresh must not leave the old puzzle readable
+    stored = std::move(record);
+  });
 }
 
-void ServiceProvider::observe(const std::string& channel, Bytes data) {
+void ServiceProvider::observe(const std::string& channel, Bytes data) const {
+  const std::lock_guard<std::mutex> lock(observations_mutex_);
   observations_.push_back(Observation{channel, std::move(data)});
+}
+
+std::vector<ServiceProvider::Observation> ServiceProvider::observations() const {
+  const std::lock_guard<std::mutex> lock(observations_mutex_);
+  return observations_;
 }
 
 namespace {
@@ -44,9 +52,12 @@ bool contains(std::span<const std::uint8_t> haystack, std::span<const std::uint8
 }  // namespace
 
 bool ServiceProvider::view_contains(std::span<const std::uint8_t> needle) const {
-  for (const auto& [id, rec] : records_) {
-    if (contains(rec, needle)) return true;
-  }
+  bool found = false;
+  records_.for_each([&](const std::string&, const Bytes& rec) {
+    if (contains(rec, needle)) found = true;
+  });
+  if (found) return true;
+  const std::lock_guard<std::mutex> lock(observations_mutex_);
   for (const auto& obs : observations_) {
     if (contains(obs.data, needle)) return true;
   }
@@ -55,13 +66,15 @@ bool ServiceProvider::view_contains(std::span<const std::uint8_t> needle) const 
 
 void ServiceProvider::tamper_record(const std::string& puzzle_id, std::size_t offset,
                                     Bytes replacement) {
-  auto it = records_.find(puzzle_id);
-  if (it == records_.end()) throw std::out_of_range("ServiceProvider: unknown puzzle");
-  if (offset + replacement.size() > it->second.size()) {
-    throw std::out_of_range("ServiceProvider: tamper out of range");
-  }
-  std::copy(replacement.begin(), replacement.end(),
-            it->second.begin() + static_cast<std::ptrdiff_t>(offset));
+  records_.mutate(puzzle_id, "ServiceProvider", [&](Bytes& stored) {
+    // Subtraction-form bounds check: `offset + replacement.size()` wraps for
+    // huge offsets and would wave an out-of-bounds write through.
+    if (offset > stored.size() || replacement.size() > stored.size() - offset) {
+      throw std::out_of_range("ServiceProvider: tamper out of range");
+    }
+    std::copy(replacement.begin(), replacement.end(),
+              stored.begin() + static_cast<std::ptrdiff_t>(offset));
+  });
 }
 
 }  // namespace sp::osn

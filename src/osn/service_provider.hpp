@@ -7,14 +7,20 @@
 // (Construction 1 puzzle Z_O vs Construction 2 file set) belongs to sp::core.
 // This mirrors the paper's deployment, where the Amazon-EC2 app stores rows
 // in MySQL without understanding the cryptography.
+//
+// Thread safety: the SP is a serving front-end, so every member is safe to
+// call from any thread. Records live in a ShardedStore (id-hash striped
+// mutexes); the observation log is append-only behind its own mutex.
+// Accessors return copies/snapshots, never references into locked state.
 #pragma once
 
-#include <map>
-#include <optional>
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.hpp"
+#include "osn/sharded_store.hpp"
 
 namespace sp::osn {
 
@@ -27,18 +33,21 @@ class ServiceProvider {
   /// protocol keeps them useless to the SP, the simulation wipes them on
   /// teardown so test-process memory never accumulates puzzle material.
   ~ServiceProvider();
+  // Shard mutexes pin the SP in place: construct it where it serves.
   ServiceProvider(const ServiceProvider&) = delete;
   ServiceProvider& operator=(const ServiceProvider&) = delete;
-  ServiceProvider(ServiceProvider&&) noexcept = default;
-  ServiceProvider& operator=(ServiceProvider&&) noexcept = default;
+  ServiceProvider(ServiceProvider&&) = delete;
+  ServiceProvider& operator=(ServiceProvider&&) = delete;
 
   /// Stores a puzzle record; returns the puzzle id embedded in feed
   /// hyperlinks. Everything in `record` becomes part of the SP's view.
   std::string store_record(Bytes record);
 
-  [[nodiscard]] const Bytes& record(const std::string& puzzle_id) const;
+  /// Copy of the stored record (a reference would dangle the moment another
+  /// thread replaces it). Throws std::out_of_range for unknown ids.
+  [[nodiscard]] Bytes record(const std::string& puzzle_id) const;
   [[nodiscard]] bool has_record(const std::string& puzzle_id) const {
-    return records_.count(puzzle_id) > 0;
+    return records_.contains(puzzle_id);
   }
   [[nodiscard]] std::size_t record_count() const { return records_.size(); }
 
@@ -49,15 +58,19 @@ class ServiceProvider {
 
   /// Appends to the SP's observation log — core calls this with every
   /// message a user sends the SP (AnswerPuzzle responses etc.), so the
-  /// surveillance tests can scan the *complete* SP view.
-  void observe(const std::string& channel, Bytes data);
+  /// surveillance tests can scan the *complete* SP view. `const` because
+  /// observing is the SP passively recording traffic, not protocol state
+  /// changing — which is what lets the receiver-side serving path stay
+  /// const end to end.
+  void observe(const std::string& channel, Bytes data) const;
 
   /// The SP's complete view: stored records + observed messages.
   struct Observation {
     std::string channel;
     Bytes data;
   };
-  [[nodiscard]] const std::vector<Observation>& observations() const { return observations_; }
+  /// Point-in-time copy of the log.
+  [[nodiscard]] std::vector<Observation> observations() const;
   /// Convenience: true iff `needle` occurs in any record or observation —
   /// the surveillance tests assert plaintext/context never does.
   [[nodiscard]] bool view_contains(std::span<const std::uint8_t> needle) const;
@@ -65,12 +78,15 @@ class ServiceProvider {
   // ---- adversary surface (malicious SP, §VI-A) ----
 
   /// Overwrites part of a stored record (e.g. URL_O or K_Z tampering).
+  /// Throws std::out_of_range when [offset, offset + replacement.size())
+  /// does not fit inside the record.
   void tamper_record(const std::string& puzzle_id, std::size_t offset, Bytes replacement);
 
  private:
-  std::map<std::string, Bytes> records_;
-  std::vector<Observation> observations_;
-  std::uint64_t next_ = 1;
+  ShardedStore<Bytes> records_;
+  mutable std::mutex observations_mutex_;
+  mutable std::vector<Observation> observations_;
+  std::atomic<std::uint64_t> next_{1};
 };
 
 }  // namespace sp::osn

@@ -1,0 +1,130 @@
+// Sharded, mutex-striped key→value store: the concurrency substrate for the
+// SP and DH front-ends. A production deployment serves millions of users, so
+// a single map behind a single lock would serialize every request; instead
+// keys hash onto N independent shards, each a std::map behind its own mutex.
+// Requests touching different shards never contend, and per-shard std::map
+// nodes give stable storage for values while other keys come and go.
+//
+// Locking contract:
+//  * every public member takes at most ONE shard lock at a time;
+//  * `for_each`/`size` visit shards strictly in index order, so two
+//    concurrent whole-store scans cannot deadlock against each other;
+//  * values are returned BY COPY (`get`) — handing out references to
+//    shard-protected memory would reintroduce the data race the shards
+//    exist to prevent.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sp::osn {
+
+template <typename Value>
+class ShardedStore {
+ public:
+  explicit ShardedStore(std::size_t shard_count = kDefaultShards)
+      : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  /// Inserts or overwrites.
+  void put(const std::string& key, Value value) {
+    Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.entries[key] = std::move(value);
+  }
+
+  /// Copy of the value; throws std::out_of_range (with `who` as context) if
+  /// absent.
+  [[nodiscard]] Value get(const std::string& key, const char* who) const {
+    const Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) throw std::out_of_range(std::string(who) + ": unknown key " + key);
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    const Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return s.entries.count(key) > 0;
+  }
+
+  /// Runs `fn` on the stored value under the shard lock; throws
+  /// std::out_of_range if absent. The only way callers may mutate a value in
+  /// place — the lock is held for exactly the duration of `fn`.
+  template <typename Fn>
+  void mutate(const std::string& key, const char* who, Fn&& fn) {
+    Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) throw std::out_of_range(std::string(who) + ": unknown key " + key);
+    fn(it->second);
+  }
+
+  /// Erases; returns whether the key existed.
+  bool erase(const std::string& key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return s.entries.erase(key) > 0;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      total += s.entries.size();
+    }
+    return total;
+  }
+
+  /// Visits every (key, value) shard by shard, holding one shard lock at a
+  /// time. Entries inserted into already-visited shards during the scan are
+  /// missed — acceptable for the audit/reporting paths this serves.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      for (const auto& [key, value] : s.entries) fn(key, value);
+    }
+  }
+
+  /// Mutating variant of `for_each` (teardown wipes, bulk maintenance).
+  template <typename Fn>
+  void for_each_mutable(Fn&& fn) {
+    for (Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      for (auto& [key, value] : s.entries) fn(key, value);
+    }
+  }
+
+  /// Point-in-time copy of the whole store (audit/surveillance views).
+  [[nodiscard]] std::map<std::string, Value> snapshot() const {
+    std::map<std::string, Value> out;
+    for_each([&out](const std::string& key, const Value& value) { out.emplace(key, value); });
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Value> entries;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+  const Shard& shard_of(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sp::osn

@@ -1,44 +1,54 @@
 #include "osn/social_graph.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace sp::osn {
 
 UserId SocialGraph::add_user(std::string name) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   const UserId id = next_id_++;
   users_.emplace(id, UserProfile{id, std::move(name)});
   edges_[id];
   return id;
 }
 
-void SocialGraph::require_user(UserId u) const {
+void SocialGraph::require_user_unlocked(UserId u) const {
   if (users_.find(u) == users_.end()) throw std::out_of_range("SocialGraph: unknown user");
 }
 
 void SocialGraph::befriend(UserId a, UserId b) {
-  require_user(a);
-  require_user(b);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(a);
+  require_user_unlocked(b);
   if (a == b) throw std::invalid_argument("SocialGraph: cannot befriend self");
   edges_[a].insert(b);
   edges_[b].insert(a);
 }
 
 void SocialGraph::follow(UserId follower, UserId followee) {
-  require_user(follower);
-  require_user(followee);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(follower);
+  require_user_unlocked(followee);
   if (follower == followee) throw std::invalid_argument("SocialGraph: cannot follow self");
   follows_[follower].insert(followee);
 }
 
-bool SocialGraph::is_following(UserId follower, UserId followee) const {
-  require_user(follower);
-  require_user(followee);
+bool SocialGraph::is_following_unlocked(UserId follower, UserId followee) const {
   const auto it = follows_.find(follower);
   return it != follows_.end() && it->second.count(followee) > 0;
 }
 
+bool SocialGraph::is_following(UserId follower, UserId followee) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(follower);
+  require_user_unlocked(followee);
+  return is_following_unlocked(follower, followee);
+}
+
 std::vector<UserId> SocialGraph::followers_of(UserId u) const {
-  require_user(u);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(u);
   std::vector<UserId> out;
   for (const auto& [follower, followees] : follows_) {
     if (followees.count(u) > 0) out.push_back(follower);
@@ -46,37 +56,51 @@ std::vector<UserId> SocialGraph::followers_of(UserId u) const {
   return out;
 }
 
-bool SocialGraph::are_friends(UserId a, UserId b) const {
-  require_user(a);
-  require_user(b);
+bool SocialGraph::are_friends_unlocked(UserId a, UserId b) const {
   const auto it = edges_.find(a);
   return it != edges_.end() && it->second.count(b) > 0;
 }
 
+bool SocialGraph::are_friends(UserId a, UserId b) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(a);
+  require_user_unlocked(b);
+  return are_friends_unlocked(a, b);
+}
+
 std::vector<UserId> SocialGraph::friends_of(UserId u) const {
-  require_user(u);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(u);
   const auto& s = edges_.at(u);
   return std::vector<UserId>(s.begin(), s.end());
 }
 
-const UserProfile& SocialGraph::profile(UserId u) const {
-  require_user(u);
+UserProfile SocialGraph::profile(UserId u) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(u);
   return users_.at(u);
 }
 
+std::size_t SocialGraph::user_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return users_.size();
+}
+
 void SocialGraph::post(Post p) {
-  require_user(p.author);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(p.author);
   posts_.push_back(std::move(p));
 }
 
 std::vector<Post> SocialGraph::feed_for(UserId viewer) const {
-  require_user(viewer);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  require_user_unlocked(viewer);
   std::vector<Post> out;
   for (const Post& p : posts_) {
     const bool own = p.author == viewer;
-    const bool friend_post = are_friends(p.author, viewer);
+    const bool friend_post = are_friends_unlocked(p.author, viewer);
     const bool followed_public =
-        p.visibility == Visibility::kPublic && is_following(viewer, p.author);
+        p.visibility == Visibility::kPublic && is_following_unlocked(viewer, p.author);
     if (own || friend_post || followed_public) out.push_back(p);
   }
   return out;

@@ -2,11 +2,19 @@
 // friendship graph (Facebook-style — "if a has b in her friend list, then b
 // has a"), and a post feed carrying the puzzle hyperlinks that Construction
 // 1/2 share to the sharer's social network S_T.
+//
+// Thread safety: one shared_mutex over the whole graph — reads (feed_for,
+// are_friends, ...) take shared locks and run concurrently; writes
+// (add_user, befriend, post, follow) take the exclusive lock. The graph is
+// small relative to the SP/DH stores and write traffic is rare, so a single
+// reader/writer lock beats sharding here: feed_for needs a consistent view
+// of users + edges + posts at once.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +42,10 @@ struct Post {
 
 class SocialGraph {
  public:
+  SocialGraph() = default;
+  SocialGraph(const SocialGraph&) = delete;
+  SocialGraph& operator=(const SocialGraph&) = delete;
+
   /// Registers a user; names need not be unique, ids are.
   UserId add_user(std::string name);
 
@@ -50,8 +62,10 @@ class SocialGraph {
   [[nodiscard]] std::vector<UserId> followers_of(UserId u) const;
   /// S_T: the sharer's social network.
   [[nodiscard]] std::vector<UserId> friends_of(UserId u) const;
-  [[nodiscard]] const UserProfile& profile(UserId u) const;
-  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+  /// Copy of the profile — like every accessor here, no reference into
+  /// locked state escapes.
+  [[nodiscard]] UserProfile profile(UserId u) const;
+  [[nodiscard]] std::size_t user_count() const;
 
   /// Posts a hyperlink to the author's profile; visible to friends only
   /// (the paper layers Facebook privacy settings on top — modeled by the
@@ -62,8 +76,13 @@ class SocialGraph {
   [[nodiscard]] std::vector<Post> feed_for(UserId viewer) const;
 
  private:
-  void require_user(UserId u) const;
+  // *_unlocked helpers assume the caller holds mutex_ (shared or exclusive);
+  // public methods never call each other, so no lock is taken twice.
+  void require_user_unlocked(UserId u) const;
+  [[nodiscard]] bool are_friends_unlocked(UserId a, UserId b) const;
+  [[nodiscard]] bool is_following_unlocked(UserId follower, UserId followee) const;
 
+  mutable std::shared_mutex mutex_;
   std::map<UserId, UserProfile> users_;
   std::map<UserId, std::set<UserId>> edges_;
   std::map<UserId, std::set<UserId>> follows_;  ///< follower -> followees

@@ -8,37 +8,36 @@ namespace sp::osn {
 
 std::string StorageHost::store(Bytes blob) {
   // URL = hash of (counter || size): stable and unguessable-looking, without
-  // depending on content (two identical ciphertexts get distinct URLs).
-  Bytes counter_bytes;
-  for (int i = 7; i >= 0; --i) counter_bytes.push_back(static_cast<std::uint8_t>(next_ >> (8 * i)));
-  ++next_;
+  // depending on content (two identical ciphertexts get distinct URLs). The
+  // counter is a global atomic so URLs never depend on shard layout.
+  const std::uint64_t counter = next_.fetch_add(1, std::memory_order_relaxed);
+  Bytes url_preimage;
+  for (int i = 7; i >= 0; --i) url_preimage.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+  const std::uint64_t size = blob.size();
+  for (int i = 7; i >= 0; --i) url_preimage.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
   const std::string url =
-      "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(counter_bytes)).substr(0, 24);
-  blobs_.emplace(url, std::move(blob));
+      "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(url_preimage)).substr(0, 24);
+  blobs_.put(url, std::move(blob));
   return url;
 }
 
-const Bytes& StorageHost::fetch(const std::string& url) const {
-  const auto it = blobs_.find(url);
-  if (it == blobs_.end()) throw std::out_of_range("StorageHost: unknown URL " + url);
-  return it->second;
-}
+Bytes StorageHost::fetch(const std::string& url) const { return blobs_.get(url, "StorageHost"); }
 
 std::size_t StorageHost::bytes_stored() const {
   std::size_t total = 0;
-  for (const auto& [url, blob] : blobs_) total += blob.size();
+  blobs_.for_each([&total](const std::string&, const Bytes& blob) { total += blob.size(); });
   return total;
 }
 
 void StorageHost::tamper(const std::string& url, std::size_t byte_index) {
-  auto it = blobs_.find(url);
-  if (it == blobs_.end()) throw std::out_of_range("StorageHost: unknown URL");
-  if (it->second.empty()) return;
-  it->second[byte_index % it->second.size()] ^= 0x01;
+  blobs_.mutate(url, "StorageHost", [byte_index](Bytes& blob) {
+    if (blob.empty()) return;
+    blob[byte_index % blob.size()] ^= 0x01;
+  });
 }
 
 void StorageHost::remove(const std::string& url) {
-  if (blobs_.erase(url) == 0) throw std::out_of_range("StorageHost: unknown URL");
+  if (!blobs_.erase(url)) throw std::out_of_range("StorageHost: unknown URL");
 }
 
 }  // namespace sp::osn

@@ -2,13 +2,19 @@
 // only encrypted objects, publicly fetchable by URL. Includes the adversary
 // surface the security analysis (§VI-B) needs: an observation log (what a
 // curious DH has seen) and tamper/remove APIs (malicious-DH DoS).
+//
+// Thread safety: blobs live in a ShardedStore (URL-hash striped mutexes), so
+// concurrent store/fetch/tamper/remove from any number of threads is safe.
+// URLs are derived from a global atomic counter — independent of shard
+// layout, so a URL issued once stays valid for the life of the host.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "crypto/bytes.hpp"
+#include "osn/sharded_store.hpp"
 
 namespace sp::osn {
 
@@ -16,32 +22,42 @@ using crypto::Bytes;
 
 class StorageHost {
  public:
+  StorageHost() = default;
+  // Shard mutexes pin the host in place: construct it where it serves.
+  StorageHost(const StorageHost&) = delete;
+  StorageHost& operator=(const StorageHost&) = delete;
+  StorageHost(StorageHost&&) = delete;
+  StorageHost& operator=(StorageHost&&) = delete;
+
   /// Stores a blob; returns its URL (URL_O in the paper). URLs are stable,
   /// unguessable-looking identifiers.
   std::string store(Bytes blob);
 
-  /// Fetches by URL; throws std::out_of_range for unknown URLs. Every fetch
+  /// Fetches a copy by URL; throws std::out_of_range for unknown URLs. A
+  /// copy, not a reference: a reference into the store would dangle when a
+  /// malicious-DH thread removes or tampers the object mid-read. Every fetch
   /// and store is visible to the host (it *is* the host) — `observed_blobs`
   /// exposes that view to surveillance tests.
-  [[nodiscard]] const Bytes& fetch(const std::string& url) const;
+  [[nodiscard]] Bytes fetch(const std::string& url) const;
 
-  [[nodiscard]] bool exists(const std::string& url) const { return blobs_.count(url) > 0; }
+  [[nodiscard]] bool exists(const std::string& url) const { return blobs_.contains(url); }
   [[nodiscard]] std::size_t object_count() const { return blobs_.size(); }
   /// Total bytes at rest (bench reporting).
   [[nodiscard]] std::size_t bytes_stored() const;
 
   // ---- adversary surface (tests only; a real DH has these powers too) ----
 
-  /// Everything this host has ever seen: its complete surveillance view.
-  [[nodiscard]] const std::map<std::string, Bytes>& observed_blobs() const { return blobs_; }
+  /// Everything this host has ever seen: a point-in-time copy of its
+  /// complete surveillance view.
+  [[nodiscard]] std::map<std::string, Bytes> observed_blobs() const { return blobs_.snapshot(); }
   /// Malicious DH: corrupt a stored object (flip a byte).
   void tamper(const std::string& url, std::size_t byte_index);
   /// Malicious DH: delete an object.
   void remove(const std::string& url);
 
  private:
-  std::map<std::string, Bytes> blobs_;
-  std::uint64_t next_ = 1;
+  ShardedStore<Bytes> blobs_;
+  std::atomic<std::uint64_t> next_{1};
 };
 
 }  // namespace sp::osn

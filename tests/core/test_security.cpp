@@ -176,6 +176,46 @@ TEST_F(SurveillanceTest, BelowThresholdUsersCannotCombineWithoutSp) {
   EXPECT_TRUE(pooled_succeeded);  // the scheme is NOT secure against this — by design
 }
 
+// Regression for the unblinded-share leak: Construction 1 blinds each Shamir
+// share by XOR-cycling it with the normalized answer, and xor_cycle with an
+// empty key is the identity. Before the fix, an answer of "   " normalized
+// to "" and the SP's public puzzle record carried that share in cleartext —
+// handing the semi-honest SP one free share toward M_O.
+TEST_F(SurveillanceTest, WhitespaceAnswerIsRejectedBeforeItCanLeakAShare) {
+  // Pre-fix both of these constructed successfully (the test fails there).
+  EXPECT_THROW(Context({{"Where did we meet?", "ANSWER-PARIS-91c2"}, {"Trick question?", "   "}}),
+               std::invalid_argument);
+  Context ctx;
+  ctx.add("Where did we meet?", "ANSWER-PARIS-91c2");
+  EXPECT_THROW(ctx.add("Trick question?", " \t\n "), std::invalid_argument);
+
+  // Nothing reached the hosts while the poisoned context was being rejected.
+  EXPECT_EQ(session_.service_provider().record_count(), 0u);
+  EXPECT_EQ(session_.storage_host().object_count(), 0u);
+}
+
+TEST_F(SurveillanceTest, SpViewContainsSharesOnlyInBlindedForm) {
+  // For a valid share, reconstruct each entry's UNBLINDED share wire the way
+  // a knowledgeable receiver does (blinded ⊕ normalized answer) and scan the
+  // SP's complete view for it: it must appear nowhere — the record holds
+  // only the blinded form. Pre-fix, an empty-normalized answer made blinded
+  // == unblinded and this scan would find the raw share.
+  const Context ctx = secret_context();
+  const auto receipt =
+      session_.share_c1(sharer_, to_bytes(kSecretObject), ctx, 2, 4, net::pc_profile());
+
+  const Puzzle stored = Puzzle::deserialize(session_.service_provider().record(receipt.post_id));
+  ASSERT_EQ(stored.entries.size(), ctx.size());
+  for (std::size_t i = 0; i < stored.entries.size(); ++i) {
+    const auto answer = ctx.answer_of(stored.entries[i].question);
+    ASSERT_TRUE(answer.has_value());
+    const Bytes raw_share = crypto::xor_cycle(stored.entries[i].blinded_share, norm(*answer));
+    EXPECT_NE(raw_share, stored.entries[i].blinded_share) << "entry " << i << " is unblinded";
+    EXPECT_FALSE(session_.service_provider().view_contains(raw_share))
+        << "unblinded share of entry " << i << " visible to the SP";
+  }
+}
+
 TEST_F(SurveillanceTest, EncryptedObjectIsHighEntropy) {
   // Sanity: a highly redundant plaintext leaves no statistical fingerprint
   // in the stored ciphertext (quick chi-square-ish check on byte counts).
@@ -183,7 +223,8 @@ TEST_F(SurveillanceTest, EncryptedObjectIsHighEntropy) {
   const Bytes redundant(32 * 1024, 0x41);  // 32 KB of 'A'
   session_.share_c1(sharer_, redundant, ctx, 2, 4, net::pc_profile());
   ASSERT_EQ(session_.storage_host().object_count(), 1u);
-  const Bytes& blob = session_.storage_host().observed_blobs().begin()->second;
+  // observed_blobs() is a point-in-time snapshot — copy the blob out.
+  const Bytes blob = session_.storage_host().observed_blobs().begin()->second;
   std::array<std::size_t, 256> counts{};
   for (std::uint8_t b : blob) ++counts[b];
   const double expect = static_cast<double>(blob.size()) / 256.0;

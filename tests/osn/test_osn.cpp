@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
 #include "osn/storage_host.hpp"
@@ -70,6 +72,17 @@ TEST(StorageHost, DistinctUrlsForIdenticalContent) {
   EXPECT_NE(dh.store(blob), dh.store(blob));
 }
 
+TEST(StorageHost, UrlHashesCounterAndSize) {
+  // The URL is H(counter || size): same store sequence on two hosts yields
+  // the same URL (stability across deployments and shard layouts) …
+  StorageHost a;
+  StorageHost b;
+  EXPECT_EQ(a.store(to_bytes("one")), b.store(to_bytes("two")));  // same counter, same size
+  // … while the same counter with a different blob size yields a different
+  // URL — the size really is part of the preimage.
+  EXPECT_NE(a.store(to_bytes("same-counter")), b.store(to_bytes("different length here")));
+}
+
 TEST(StorageHost, UnknownUrlThrows) {
   StorageHost dh;
   EXPECT_THROW((void)dh.fetch("dh://objects/nope"), std::out_of_range);
@@ -130,6 +143,22 @@ TEST(ServiceProvider, TamperRewritesRecord) {
   sp.tamper_record(id, 7, to_bytes("evil"));
   EXPECT_EQ(crypto::to_string(sp.record(id)), "http://evil.example/url");
   EXPECT_THROW(sp.tamper_record(id, 100, to_bytes("x")), std::out_of_range);
+}
+
+TEST(ServiceProvider, TamperHugeOffsetRejected) {
+  // Regression: the old bounds check computed `offset + replacement.size()`,
+  // which wraps around for huge offsets and let the write through — an
+  // out-of-bounds smash triggered by attacker-controlled input.
+  ServiceProvider sp;
+  const std::string id = sp.store_record(to_bytes("0123456789"));
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(sp.tamper_record(id, kMax, to_bytes("x")), std::out_of_range);
+  EXPECT_THROW(sp.tamper_record(id, kMax - 3, to_bytes("wrap")), std::out_of_range);
+  // Boundary behavior stays exact: writing the last byte works, one past
+  // the end does not.
+  sp.tamper_record(id, 9, to_bytes("X"));
+  EXPECT_EQ(crypto::to_string(sp.record(id)), "012345678X");
+  EXPECT_THROW(sp.tamper_record(id, 10, to_bytes("x")), std::out_of_range);
 }
 
 }  // namespace
