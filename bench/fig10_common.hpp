@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
 
 namespace sp::bench {
 
@@ -42,6 +44,30 @@ inline crypto::Bytes paper_message(crypto::Drbg& rng) {
   crypto::Bytes msg(100);
   for (auto& b : msg) b = static_cast<std::uint8_t>('A' + rng.uniform(26));
   return msg;
+}
+
+/// Percentile summary of a latency histogram: what the load benches report
+/// instead of sorting raw sample vectors. Percentiles are the histogram's
+/// bucket-interpolated estimates, so a bench and a production scrape of the
+/// same instrument agree by construction.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+inline LatencySummary summarize(const obs::Histogram& hist) {
+  LatencySummary s;
+  s.count = hist.count();
+  if (s.count > 0) s.mean_ms = hist.sum_ms() / static_cast<double>(s.count);
+  s.p50_ms = hist.percentile(0.50);
+  s.p95_ms = hist.percentile(0.95);
+  s.p99_ms = hist.percentile(0.99);
+  s.max_ms = hist.max_ms();
+  return s;
 }
 
 struct Sample {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "crypto/modes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sp::core {
 
@@ -179,21 +181,47 @@ std::optional<Bytes> Construction2::access(const Bytes& ciphertext_file,
     return std::nullopt;
   }
 
+  // Phase histograms for the paper's receiver-side I2 decomposition
+  // (Fig. 10(d)): reconstruct / keygen / decrypt are the three local phases
+  // a production receiver would alert on. Registered once, process-wide.
+  struct Phases {
+    obs::Histogram& reconstruct;
+    obs::Histogram& keygen;
+    obs::Histogram& decrypt;
+  };
+  static Phases phases{
+      obs::MetricsRegistry::global().histogram("sp_phase_latency_ms",
+                                               "Per-phase serving latency",
+                                               obs::Histogram::default_latency_bounds_ms(),
+                                               {{"phase", "c2.reconstruct"}}),
+      obs::MetricsRegistry::global().histogram("sp_phase_latency_ms", "",
+                                               obs::Histogram::default_latency_bounds_ms(),
+                                               {{"phase", "c2.keygen"}}),
+      obs::MetricsRegistry::global().histogram("sp_phase_latency_ms", "",
+                                               obs::Histogram::default_latency_bounds_ms(),
+                                               {{"phase", "c2.decrypt"}}),
+  };
+
   // Reconstruct τ̂ from τ' with the receiver's normalized answers.
+  obs::TraceSpan reconstruct_span(phases.reconstruct);
   std::map<std::string, std::string> claimed;
   for (const auto& [q, a] : knowledge.answers()) claimed[q] = Context::normalize_answer(a);
   const auto [tau_hat, recovered] = ct.policy.reconstruct(claimed);
   if (recovered == 0) return std::nullopt;
   const abe::Ciphertext ct_hat = abe::CpAbe::swap_policy(std::move(ct), tau_hat);
+  reconstruct_span.stop();
 
   // KeyGen with the recovered leaf attributes (publicly known algorithm +
   // MK, per the paper).
+  obs::TraceSpan keygen_span(phases.keygen);
   std::vector<std::string> attrs;
   for (const auto& [id, leaf] : tau_hat.leaves()) {
     if (!leaf->leaf->perturbed) attrs.push_back(leaf->leaf->canonical());
   }
   const abe::PrivateKey sk = scheme_.keygen(mk, attrs, rng);
+  keygen_span.stop();
 
+  obs::TraceSpan decrypt_span(phases.decrypt);
   const auto dem_key = scheme_.decrypt_key(pk, sk, ct_hat);
   if (!dem_key) return std::nullopt;
   try {

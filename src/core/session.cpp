@@ -5,10 +5,107 @@
 #include <thread>
 
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sp::core {
 
 using net::CpuTimer;
+
+namespace {
+
+/// Serving-stack instruments (docs/OBSERVABILITY.md catalog). Phase series
+/// mirror the paper's Fig. 10 decomposition; end-to-end series split by
+/// scheme and result so denied requests never land in success latencies.
+struct SessionMetrics {
+  // Per-phase latency (shared family with construction2.cpp's c2.* phases).
+  obs::Histogram& c1_upload;
+  obs::Histogram& c1_sign;
+  obs::Histogram& c2_upload;
+  obs::Histogram& c1_display;
+  obs::Histogram& c1_answer_hashes;
+  obs::Histogram& c1_sig_verify;
+  obs::Histogram& c1_interpolate;
+  obs::Histogram& c2_display;
+  obs::Histogram& c2_answer_hashes;
+  obs::Histogram& c2_access;
+  obs::Histogram& sp_verify;
+  obs::Histogram& dh_fetch;
+
+  // End-to-end serving outcome, split {scheme} x {result}.
+  obs::Counter& c1_granted;
+  obs::Counter& c1_denied;
+  obs::Counter& c2_granted;
+  obs::Counter& c2_denied;
+  obs::Histogram& c1_granted_ms;
+  obs::Histogram& c1_denied_ms;
+  obs::Histogram& c2_granted_ms;
+  obs::Histogram& c2_denied_ms;
+
+  // Sharer-side traffic and the retry loop of access_with_retries.
+  obs::Counter& shares_c1;
+  obs::Counter& shares_c2;
+  obs::Counter& refreshes;
+  obs::Counter& access_retried;
+  obs::Counter& access_denied;
+  obs::Counter& access_granted;
+
+  static obs::Histogram& phase(const char* name) {
+    return obs::MetricsRegistry::global().histogram(
+        "sp_phase_latency_ms", "Per-phase serving latency",
+        obs::Histogram::default_latency_bounds_ms(), {{"phase", name}});
+  }
+  static obs::Counter& outcome(const char* scheme, const char* result) {
+    return obs::MetricsRegistry::global().counter(
+        "sp_access_requests_total", "Access requests by scheme and outcome",
+        {{"result", result}, {"scheme", scheme}});
+  }
+  static obs::Histogram& outcome_ms(const char* scheme, const char* result) {
+    return obs::MetricsRegistry::global().histogram(
+        "sp_access_latency_ms", "End-to-end access wall time (local work only)",
+        obs::Histogram::default_latency_bounds_ms(),
+        {{"result", result}, {"scheme", scheme}});
+  }
+
+  static SessionMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SessionMetrics m{
+        phase("c1.upload"),
+        phase("c1.sign"),
+        phase("c2.upload"),
+        phase("c1.display"),
+        phase("c1.answer_hashes"),
+        phase("c1.sig_verify"),
+        phase("c1.interpolate"),
+        phase("c2.display"),
+        phase("c2.answer_hashes"),
+        phase("c2.access"),
+        phase("sp.verify"),
+        phase("dh.fetch"),
+        outcome("c1", "granted"),
+        outcome("c1", "denied"),
+        outcome("c2", "granted"),
+        outcome("c2", "denied"),
+        outcome_ms("c1", "granted"),
+        outcome_ms("c1", "denied"),
+        outcome_ms("c2", "granted"),
+        outcome_ms("c2", "denied"),
+        reg.counter("sp_share_requests_total", "Share (upload) operations by scheme",
+                    {{"scheme", "c1"}}),
+        reg.counter("sp_share_requests_total", "", {{"scheme", "c2"}}),
+        reg.counter("sp_refresh_requests_total", "Puzzle refresh operations"),
+        reg.counter("sp_access_retried_total",
+                    "Extra challenge draws taken by access_with_retries"),
+        reg.counter("sp_access_denied_total",
+                    "access_with_retries calls that exhausted every draw denied"),
+        reg.counter("sp_access_granted_total",
+                    "access_with_retries calls that ended in a grant"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Session::Session(SessionConfig config)
     : config_(std::move(config)),
@@ -52,11 +149,13 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   }
   crypto::Drbg op_rng = fork_rng("share-c1");
   net::CostLedger ledger(device);
+  SessionMetrics& metrics = SessionMetrics::get();
+  metrics.shares_c1.inc();
 
   // -- local: Upload subroutine (crypto) --------------------------------
-  CpuTimer timer;
+  obs::TraceSpan upload_span(metrics.c1_upload, ledger);
   auto result = c1_->upload(object, ctx, k, n, *keys, op_rng);
-  ledger.add_local_measured(timer.elapsed_ms());
+  upload_span.stop();
 
   // -- network: store O_{K_O} at the DH ---------------------------------
   ledger.add_network(network_.transfer_ms(result.encrypted_object.size()));
@@ -64,11 +163,11 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   const std::string url = dh_.store(std::move(result.encrypted_object));
 
   // -- local: patch URL_O and re-sign (DoS countermeasure) --------------
-  timer.reset();
+  obs::TraceSpan sign_span(metrics.c1_sign, ledger);
   result.puzzle.url = url;
   c1_->sign_puzzle(result.puzzle, *keys);
   const Bytes record = result.puzzle.serialize();
-  ledger.add_local_measured(timer.elapsed_ms());
+  sign_span.stop();
 
   // -- network: upload Z_O to the SP ------------------------------------
   ledger.add_network(network_.transfer_ms(record.size()));
@@ -95,11 +194,13 @@ ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t>
                                const net::DeviceProfile& device, osn::Visibility visibility) {
   crypto::Drbg op_rng = fork_rng("share-c2");
   net::CostLedger ledger(device);
+  SessionMetrics& metrics = SessionMetrics::get();
+  metrics.shares_c2.inc();
 
   // -- local: Setup + Encrypt + Perturb (the heavy CP-ABE work) ----------
-  CpuTimer timer;
+  obs::TraceSpan upload_span(metrics.c2_upload, ledger);
   auto files = c2_->upload(object, ctx, k, op_rng);
-  ledger.add_local_measured(timer.elapsed_ms());
+  upload_span.stop();
 
   // -- network: the paper's four cURL uploads (details, pub, master -> SP;
   //    ciphertext -> DH). Each file is a separately spawned cURL HTTPS
@@ -155,6 +256,8 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
   const std::string old_url = stored.url;
   net::CostLedger ledger(device);
   crypto::Drbg op_rng = fork_rng("refresh-" + post_id);
+  SessionMetrics& metrics = SessionMetrics::get();
+  metrics.refreshes.inc();
 
   if (stored.kind == SchemeKind::kConstruction1) {
     const sig::KeyPair* keys = nullptr;
@@ -165,19 +268,19 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
     const std::size_t k = stored.puzzle->threshold;
     const std::size_t n = stored.puzzle->n();
 
-    CpuTimer timer;
+    obs::TraceSpan upload_span(metrics.c1_upload, ledger);
     auto result = c1_->upload(object, ctx, k, n, *keys, op_rng);
-    ledger.add_local_measured(timer.elapsed_ms());
+    upload_span.stop();
 
     ledger.add_network(network_.transfer_ms(result.encrypted_object.size()));
     ledger.add_bytes(result.encrypted_object.size());
     const std::string url = dh_.store(std::move(result.encrypted_object));
 
-    timer.reset();
+    obs::TraceSpan sign_span(metrics.c1_sign, ledger);
     result.puzzle.url = url;
     c1_->sign_puzzle(result.puzzle, *keys);
     const Bytes record = result.puzzle.serialize();
-    ledger.add_local_measured(timer.elapsed_ms());
+    sign_span.stop();
 
     ledger.add_network(network_.transfer_ms(record.size()));
     ledger.add_bytes(record.size());
@@ -188,9 +291,9 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
   } else {
     const std::size_t k = stored.c2_files->threshold;
 
-    CpuTimer timer;
+    obs::TraceSpan upload_span(metrics.c2_upload, ledger);
     auto files = c2_->upload(object, ctx, k, op_rng);
-    ledger.add_local_measured(timer.elapsed_ms());
+    upload_span.stop();
 
     constexpr int kColdCurlRoundTrips = 3;
     const Bytes details = files.perturbed_tree.serialize();
@@ -234,21 +337,37 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
   }
   net::CostLedger ledger(device);
   crypto::Drbg op_rng = fork_rng("access-" + post_id);
-  if (stored.kind == SchemeKind::kConstruction1) {
-    return access_c1(stored, knowledge, ledger, op_rng);
+  const bool is_c1 = stored.kind == SchemeKind::kConstruction1;
+  CpuTimer wall;
+  const AccessResult result =
+      is_c1 ? access_c1(stored, knowledge, ledger, op_rng)
+            : access_c2(stored, knowledge, ledger, op_rng);
+  // End-to-end outcome series. `success()` (granted AND object recovered) is
+  // the label, so a granted-but-tampered request counts as denied here.
+  const double elapsed = wall.elapsed_ms();
+  SessionMetrics& metrics = SessionMetrics::get();
+  if (is_c1) {
+    (result.success() ? metrics.c1_granted : metrics.c1_denied).inc();
+    (result.success() ? metrics.c1_granted_ms : metrics.c1_denied_ms).observe(elapsed);
+  } else {
+    (result.success() ? metrics.c2_granted : metrics.c2_denied).inc();
+    (result.success() ? metrics.c2_granted_ms : metrics.c2_denied_ms).observe(elapsed);
   }
-  return access_c2(stored, knowledge, ledger, op_rng);
+  return result;
 }
 
 AccessResult Session::access_with_retries(osn::UserId receiver, const std::string& post_id,
                                           const Knowledge& knowledge,
                                           const net::DeviceProfile& device, int max_draws) const {
   if (max_draws < 1) throw std::invalid_argument("access_with_retries: max_draws >= 1");
+  SessionMetrics& metrics = SessionMetrics::get();
   AccessResult result;
   for (int draw = 0; draw < max_draws; ++draw) {
+    if (draw > 0) metrics.access_retried.inc();
     result = access(receiver, post_id, knowledge, device);
     if (result.success()) break;
   }
+  (result.success() ? metrics.access_granted : metrics.access_denied).inc();
   return result;
 }
 
@@ -287,21 +406,26 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
 AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
                                 net::CostLedger& ledger, crypto::Drbg& rng) const {
   const Puzzle& puzzle = *stored.puzzle;
+  SessionMetrics& metrics = SessionMetrics::get();
 
   // -- SP: DisplayPuzzle; network: challenge download -------------------
+  obs::TraceSpan display_span(metrics.c1_display);
   const auto challenge = Construction1::display_puzzle(puzzle, rng);
+  display_span.stop();
   ledger.add_network(network_.transfer_ms(challenge.wire_size()));
   ledger.add_bytes(challenge.wire_size());
 
   // -- receiver local: AnswerPuzzle (hashing) ----------------------------
-  CpuTimer timer;
+  obs::TraceSpan answer_span(metrics.c1_answer_hashes, ledger);
   const auto response = Construction1::answer_puzzle(challenge, knowledge);
-  ledger.add_local_measured(timer.elapsed_ms());
+  answer_span.stop();
 
   // -- network: response up, reply down (one exchange) -------------------
   // The SP's observation log gets everything the receiver sends.
   for (const Bytes& h : response.hashes) sp_.observe("c1-response-hash", h);
+  obs::TraceSpan verify_span(metrics.sp_verify);
   const auto reply = Construction1::verify(puzzle, challenge, response.hashes);
+  verify_span.stop();
   ledger.add_network(
       network_.transfer_ms(response.wire_size() + reply.wire_size()));
   ledger.add_bytes(response.wire_size() + reply.wire_size());
@@ -314,11 +438,11 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: verify the sharer's signature on (URL, k, K_Z) ----
-  timer.reset();
+  obs::TraceSpan sig_span(metrics.c1_sig_verify, ledger);
   Puzzle verified_view = puzzle;  // fields as received from the SP
   verified_view.url = reply.url;
   const bool sig_ok = c1_->verify_puzzle_signature(verified_view);
-  ledger.add_local_measured(timer.elapsed_ms());
+  sig_span.stop();
   if (!sig_ok) {
     result.granted = false;
     result.cost = ledger;
@@ -328,6 +452,7 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   // -- network: download O_{K_O} from the DH -----------------------------
   Bytes encrypted;
   try {
+    const obs::TraceSpan fetch_span(metrics.dh_fetch);
     encrypted = dh_.fetch(reply.url);
   } catch (const std::out_of_range&) {
     result.cost = ledger;
@@ -337,9 +462,9 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   ledger.add_bytes(encrypted.size());
 
   // -- receiver local: Access (unblind, Lagrange, decrypt) --------------
-  timer.reset();
+  obs::TraceSpan access_span(metrics.c1_interpolate, ledger);
   result.object = c1_->access(puzzle, challenge, reply, knowledge, encrypted);
-  ledger.add_local_measured(timer.elapsed_ms());
+  access_span.stop();
   result.cost = ledger;
   return result;
 }
@@ -347,22 +472,27 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
 AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
                                 net::CostLedger& ledger, crypto::Drbg& rng) const {
   const auto& files = *stored.c2_files;
+  SessionMetrics& metrics = SessionMetrics::get();
 
   // -- network: download details (τ' questions) --------------------------
+  obs::TraceSpan display_span(metrics.c2_display);
   const auto challenge = Construction2::display_puzzle(files.perturbed_tree, files.threshold);
+  display_span.stop();
   ledger.add_network(network_.transfer_ms(challenge.wire_size()));
   ledger.add_bytes(challenge.wire_size());
 
   // -- receiver local: hash answers --------------------------------------
-  CpuTimer timer;
+  obs::TraceSpan answer_span(metrics.c2_answer_hashes, ledger);
   const auto response = Construction2::answer_puzzle(challenge, knowledge);
-  ledger.add_local_measured(timer.elapsed_ms());
+  answer_span.stop();
 
   for (const std::string& h : response.answer_hashes) {
     sp_.observe("c2-response-hash", crypto::to_bytes(h));
   }
+  obs::TraceSpan verify_span(metrics.sp_verify);
   const auto reply = Construction2::verify(files.perturbed_tree, files.threshold, challenge,
                                            response, stored.url);
+  verify_span.stop();
   ledger.add_network(network_.transfer_ms(response.wire_size() + reply.wire_size(files)));
   ledger.add_bytes(response.wire_size() + reply.wire_size(files));
 
@@ -378,6 +508,7 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   constexpr int kColdCurlRoundTrips = 3;
   Bytes ciphertext;
   try {
+    const obs::TraceSpan fetch_span(metrics.dh_fetch);
     ciphertext = dh_.fetch(reply.url);
   } catch (const std::out_of_range&) {
     result.cost = ledger;
@@ -391,9 +522,9 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   ledger.add_bytes(files.master_key.size());
 
   // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
-  timer.reset();
+  obs::TraceSpan access_span(metrics.c2_access, ledger);
   result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng);
-  ledger.add_local_measured(timer.elapsed_ms());
+  access_span.stop();
   result.cost = ledger;
   return result;
 }

@@ -1,42 +1,106 @@
 #include "core/thread_pool.hpp"
 
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sp::core {
+
+namespace {
+
+/// Process-wide pool instruments, shared by every ThreadPool instance (the
+/// serving core creates one pool per access_parallel batch; gauges are
+/// additive across them). Registered once, cached by reference.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Gauge& in_flight;
+  obs::Gauge& threads;
+  obs::Counter& tasks;
+  obs::Counter& rejected;
+  obs::Histogram& task_ms;
+
+  static PoolMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PoolMetrics m{
+        reg.gauge("pool_queue_depth", "Tasks waiting for a worker"),
+        reg.gauge("pool_in_flight", "Tasks currently executing on a worker"),
+        reg.gauge("pool_threads", "Live worker threads across all pools"),
+        reg.counter("pool_tasks_total", "Tasks accepted by submit()"),
+        reg.counter("pool_rejected_total", "Submits rejected because the pool was shutting down"),
+        reg.histogram("pool_task_ms", "Task execution wall time"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
     : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
   if (num_threads == 0) num_threads = 1;
+  num_threads_ = num_threads;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  PoolMetrics::get().threads.add(static_cast<std::int64_t>(num_threads));
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    if (joined_) return;  // an earlier shutdown() already joined the workers
+    joined_ = true;
   }
+  // Wake workers (to drain and exit) AND submitters blocked on a full
+  // queue (to fail loudly instead of waiting forever).
   queue_has_work_.notify_all();
+  queue_has_space_.notify_all();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  PoolMetrics::get().threads.sub(static_cast<std::int64_t>(num_threads_));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::get();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_has_space_.wait(lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
-    if (stopping_) return;  // racing a destructor: drop the task
+    if (stopping_) {
+      // Pre-PR4 this silently dropped the task; a serving front-end must
+      // hear about shed work, so reject loudly and count it.
+      metrics.rejected.inc();
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    }
     queue_.push_back(std::move(task));
-    ++in_flight_;
+    ++pending_;
   }
+  metrics.tasks.inc();
+  metrics.queue_depth.add(1);
   queue_has_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_ - queue_.size();
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> task;
     {
@@ -46,12 +110,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    metrics.queue_depth.sub(1);
+    metrics.in_flight.add(1);
     queue_has_space_.notify_one();
-    task();
+    {
+      obs::TraceSpan span(metrics.task_ms);
+      task();
+    }
+    metrics.in_flight.sub(1);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
     }
   }
 }

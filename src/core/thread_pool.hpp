@@ -7,9 +7,16 @@
 // limit. A production ingress would shed load at this point; the simulation
 // prefers blocking so batches always complete.
 //
-// Lifecycle: workers start in the constructor and are joined in the
-// destructor after draining everything already submitted. `wait_idle` lets a
-// caller reuse the pool across batches.
+// Lifecycle: workers start in the constructor; `shutdown()` (idempotent,
+// called by the destructor) drains everything already submitted and joins
+// them. A `submit` racing or following shutdown throws std::runtime_error —
+// a serving front-end must hear about dropped work, not lose it silently.
+//
+// Observability: every pool reports into the process-wide MetricsRegistry —
+// queue-depth / in-flight / worker-count gauges, task + rejection counters
+// and a task-latency histogram (docs/OBSERVABILITY.md catalog). The
+// `queue_depth()` / `in_flight()` / `num_threads()` accessors expose the
+// same numbers for direct harness assertions.
 #pragma once
 
 #include <condition_variable>
@@ -32,25 +39,39 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; blocks while the queue is at capacity. Tasks must not
-  /// throw — wrap fallible work and capture its std::exception_ptr.
+  /// throw — wrap fallible work and capture its std::exception_ptr. Throws
+  /// std::runtime_error if the pool is shutting down (including a submitter
+  /// woken from a full-queue wait by shutdown) — never drops work silently.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
-  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  /// Drains submitted tasks, joins the workers, rejects future submits.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  // ---- introspection (each takes the pool mutex; monitoring-path) ----
+  /// Tasks waiting for a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Tasks currently executing on a worker.
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+  [[nodiscard]] std::size_t thread_count() const { return num_threads_; }
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable queue_has_space_;  ///< signaled when a task is popped
   std::condition_variable queue_has_work_;   ///< signaled when a task is pushed
-  std::condition_variable all_done_;         ///< signaled when in_flight_ hits 0
+  std::condition_variable all_done_;         ///< signaled when pending_ hits 0
   std::deque<std::function<void()>> queue_;
   std::size_t queue_capacity_;
-  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::size_t pending_ = 0;  ///< queued + currently executing
   bool stopping_ = false;
+  bool joined_ = false;
+  std::size_t num_threads_ = 0;
   std::vector<std::thread> workers_;
 };
 

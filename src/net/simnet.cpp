@@ -2,7 +2,31 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sp::net {
+
+namespace {
+
+/// Link-layer instruments: modeled transfer counts/bytes/delays across every
+/// Network instance (docs/OBSERVABILITY.md catalog).
+struct NetMetrics {
+  obs::Counter& transfers;
+  obs::Counter& bytes;
+  obs::Histogram& transfer_ms;
+
+  static NetMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static NetMetrics m{
+        reg.counter("net_transfers_total", "Modeled request/response exchanges"),
+        reg.counter("net_bytes_total", "Modeled payload bytes moved"),
+        reg.histogram("net_transfer_ms", "Modeled per-exchange network delay"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DeviceProfile pc_profile() { return DeviceProfile{"pc-quadcore-2.5ghz", 1.0}; }
 
@@ -21,7 +45,13 @@ double Network::transfer_ms(std::size_t bytes, int round_trips) const {
       (static_cast<double>(bytes) * 8.0) / (link_.bandwidth_mbps * 1000.0);
   const double base = payload_ms +
                       round_trips * (link_.rtt_ms + link_.per_request_overhead_ms);
-  if (link_.jitter_frac <= 0.0) return base;
+  NetMetrics& metrics = NetMetrics::get();
+  metrics.transfers.inc();
+  metrics.bytes.inc(bytes);
+  if (link_.jitter_frac <= 0.0) {
+    metrics.transfer_ms.observe(base);
+    return base;
+  }
   // Uniform multiplicative jitter in [1, 1 + jitter_frac) — deterministic
   // given the seed, mirroring the paper's observed instability.
   double sample = 0.0;
@@ -30,6 +60,7 @@ double Network::transfer_ms(std::size_t bytes, int round_trips) const {
     sample = rng_.uniform_real();
   }
   const double factor = 1.0 + link_.jitter_frac * sample;
+  metrics.transfer_ms.observe(base * factor);
   return base * factor;
 }
 

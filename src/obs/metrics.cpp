@@ -1,0 +1,445 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace sp::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// %.10g keeps integers bare ("3", not "3.000000") and doubles readable in
+/// both exposition formats.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  if (alpha || c == '_' || c == ':') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Metric/label-name charset: Prometheus identifier rules. Tight on purpose
+/// — names are code-path identifiers, not data.
+void validate_name(const std::string& name, const char* what) {
+  if (name.empty() || name.size() > 120) {
+    throw std::invalid_argument(std::string(what) + " must be 1..120 chars: '" + name + "'");
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!name_char_ok(name[i], i == 0)) {
+      throw std::invalid_argument(std::string(what) + " has invalid char: '" + name + "'");
+    }
+  }
+}
+
+/// Label values are enum-like path identifiers (scheme="c1",
+/// phase="c1.verify_hashes"). The charset excludes quotes, backslashes and
+/// whitespace entirely, and the length cap makes smuggling payload bytes
+/// into a label value a registration-time error — part of the secret-hygiene
+/// contract (docs/OBSERVABILITY.md).
+void validate_label_value(const std::string& value) {
+  if (value.empty() || value.size() > 64) {
+    throw std::invalid_argument("label value must be 1..64 chars: '" + value + "'");
+  }
+  for (const char c : value) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.' || c == '-' || c == '/' || c == ':';
+    if (!ok) throw std::invalid_argument("label value has invalid char: '" + value + "'");
+  }
+}
+
+/// Canonical series id: labels sorted by name, rendered `a="x",b="y"`.
+/// Doubles as the exposition body inside {…}.
+std::string canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& label : labels) {
+    if (!out.empty()) out.push_back(',');
+    out += label.first + "=\"" + label.second + "\"";
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  // Validated charsets exclude everything needing escapes, but the help
+  // strings are free text — escape the two characters that matter.
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(const std::atomic<bool>& enabled, std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: bounds must be non-empty");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) || (i > 0 && bounds_[i] <= bounds_[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds must be finite and strictly increasing");
+    }
+  }
+  shards_ = std::make_unique<Shard[]>(detail::kShards);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    shards_[s].buckets = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double value_ms) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (!(value_ms >= 0)) value_ms = 0;  // also catches NaN
+  // Bucket i holds v <= bounds_[i] (Prometheus `le`); past the last bound is
+  // the implicit +Inf bucket.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value_ms) - bounds_.begin());
+  const auto micros = static_cast<std::uint64_t>(std::llround(value_ms * 1000.0));
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_micros.fetch_add(micros, std::memory_order_relaxed);
+  std::uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_micros_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum_ms() const {
+  std::uint64_t micros = 0;
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    micros += shards_[s].sum_micros.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(micros) / 1000.0;
+}
+
+double Histogram::max_ms() const {
+  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::percentile(double p) const {
+  if (!(p > 0)) p = 0.0;
+  if (p > 1) p = 1.0;
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const double target = p * static_cast<double>(total);
+  double cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double next = cum + static_cast<double>(counts[b]);
+    if (next >= target && counts[b] > 0) {
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      // The +Inf bucket interpolates toward the recorded max so a tail
+      // estimate stays finite and bounded by something actually observed.
+      const double upper = b < bounds_.size() ? bounds_[b] : std::max(max_ms(), lower);
+      const double frac = (target - cum) / static_cast<double>(counts[b]);
+      const double est = lower + frac * (upper - lower);
+      // Never report above something actually observed (p100 of a bucket
+      // otherwise returns the bucket's upper bound, not the true max).
+      const double cap = max_ms();
+      return cap > 0 && est > cap ? cap : est;
+    }
+    cum = next;
+  }
+  return max_ms();
+}
+
+void Histogram::reset() {
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    shards_[s].count.store(0, std::memory_order_relaxed);
+    shards_[s].sum_micros.store(0, std::memory_order_relaxed);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+  max_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, std::size_t count) {
+  if (!(start > 0) || !(factor > 1) || count == 0) {
+    throw std::invalid_argument("exponential_bounds: start > 0, factor > 1, count >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v *= factor) out.push_back(v);
+  return out;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double width, std::size_t count) {
+  if (!(width > 0) || count == 0) {
+    throw std::invalid_argument("linear_bounds: width > 0, count >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(start + static_cast<double>(i) * width);
+  return out;
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instruments are cached by reference in static
+  // structs across the serving stack; a destructed registry would turn
+  // shutdown-path increments into use-after-free.
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name,
+                                                     const std::string& help, Kind kind,
+                                                     const std::vector<double>* bounds) {
+  // Caller holds the unique lock.
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = help;
+    if (bounds != nullptr) fam.bounds = *bounds;
+    return fam;
+  }
+  if (fam.kind != kind) {
+    throw std::logic_error("MetricsRegistry: '" + name + "' already registered as another kind");
+  }
+  if (bounds != nullptr && fam.bounds != *bounds) {
+    throw std::logic_error("MetricsRegistry: '" + name + "' re-registered with different bounds");
+  }
+  return fam;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const Labels& labels) {
+  validate_name(name, "metric name");
+  for (const auto& label : labels) {
+    validate_name(label.first, "label name");
+    validate_label_value(label.second);
+  }
+  const std::string id = canonical_labels(labels);
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto fit = families_.find(name);
+    if (fit != families_.end() && fit->second.kind == Kind::kCounter) {
+      const auto sit = fit->second.series.find(id);
+      if (sit != fit->second.series.end()) return *sit->second.counter;
+    }
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::kCounter, nullptr);
+  Series& series = fam.series[id];
+  if (!series.counter) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.counter.reset(new Counter(enabled_));
+  }
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  validate_name(name, "metric name");
+  for (const auto& label : labels) {
+    validate_name(label.first, "label name");
+    validate_label_value(label.second);
+  }
+  const std::string id = canonical_labels(labels);
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto fit = families_.find(name);
+    if (fit != families_.end() && fit->second.kind == Kind::kGauge) {
+      const auto sit = fit->second.series.find(id);
+      if (sit != fit->second.series.end()) return *sit->second.gauge;
+    }
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::kGauge, nullptr);
+  Series& series = fam.series[id];
+  if (!series.gauge) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.gauge.reset(new Gauge(enabled_));
+  }
+  return *series.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds, const Labels& labels) {
+  validate_name(name, "metric name");
+  for (const auto& label : labels) {
+    validate_name(label.first, "label name");
+    validate_label_value(label.second);
+  }
+  const std::string id = canonical_labels(labels);
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto fit = families_.find(name);
+    if (fit != families_.end() && fit->second.kind == Kind::kHistogram &&
+        fit->second.bounds == bounds) {
+      const auto sit = fit->second.series.find(id);
+      if (sit != fit->second.series.end()) return *sit->second.histogram;
+    }
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::kHistogram, &bounds);
+  Series& series = fam.series[id];
+  if (!series.histogram) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.histogram.reset(new Histogram(enabled_, std::move(bounds)));
+  }
+  return *series.histogram;
+}
+
+void MetricsRegistry::reset() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [id, series] : fam.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, fam] : families_) total += fam.series.size();
+  return total;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += fam.kind == Kind::kCounter ? "counter" : fam.kind == Kind::kGauge ? "gauge"
+                                                                             : "histogram";
+    out += "\n";
+    for (const auto& [id, series] : fam.series) {
+      const std::string braces = id.empty() ? "" : "{" + id + "}";
+      if (fam.kind == Kind::kCounter) {
+        out += name + braces + " " + std::to_string(series.counter->value()) + "\n";
+      } else if (fam.kind == Kind::kGauge) {
+        out += name + braces + " " + std::to_string(series.gauge->value()) + "\n";
+      } else {
+        const Histogram& h = *series.histogram;
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+          cum += counts[b];
+          const std::string le = b < h.bounds().size() ? num(h.bounds()[b]) : "+Inf";
+          std::string lbl = id;
+          if (!lbl.empty()) lbl += ",";
+          lbl += "le=\"" + le + "\"";
+          out += name + "_bucket{" + lbl + "} " + std::to_string(cum) + "\n";
+        }
+        out += name + "_sum" + braces + " " + num(h.sum_ms()) + "\n";
+        out += name + "_count" + braces + " " + std::to_string(h.count()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::string out = "{\n  \"enabled\": ";
+  out += enabled() ? "true" : "false";
+  out += ",\n  \"metrics\": [";
+  bool first_family = true;
+  for (const auto& [name, fam] : families_) {
+    out += first_family ? "\n" : ",\n";
+    first_family = false;
+    out += "    {\"name\": \"" + name + "\", \"type\": \"";
+    out += fam.kind == Kind::kCounter ? "counter" : fam.kind == Kind::kGauge ? "gauge"
+                                                                             : "histogram";
+    out += "\", \"help\": \"" + json_escape(fam.help) + "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& [id, series] : fam.series) {
+      out += first_series ? "\n" : ",\n";
+      first_series = false;
+      out += "      {\"labels\": {";
+      bool first_label = true;
+      for (const auto& label : series.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += "\"" + label.first + "\": \"" + label.second + "\"";
+      }
+      out += "}";
+      if (fam.kind == Kind::kCounter) {
+        out += ", \"value\": " + std::to_string(series.counter->value()) + "}";
+      } else if (fam.kind == Kind::kGauge) {
+        out += ", \"value\": " + std::to_string(series.gauge->value()) + "}";
+      } else {
+        const Histogram& h = *series.histogram;
+        out += ", \"count\": " + std::to_string(h.count());
+        out += ", \"sum_ms\": " + num(h.sum_ms());
+        out += ", \"max_ms\": " + num(h.max_ms());
+        out += ", \"p50_ms\": " + num(h.percentile(0.50));
+        out += ", \"p95_ms\": " + num(h.percentile(0.95));
+        out += ", \"p99_ms\": " + num(h.percentile(0.99));
+        out += ", \"buckets\": [";
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+          cum += counts[b];
+          if (b > 0) out += ", ";
+          out += "{\"le\": ";
+          out += b < h.bounds().size() ? num(h.bounds()[b]) : std::string("\"+Inf\"");
+          out += ", \"count\": " + std::to_string(cum) + "}";
+        }
+        out += "]}";
+      }
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,73 @@
+// TraceSpan — RAII phase scope for the serving stack.
+//
+// One span = one named phase of one request (c1.verify_hashes,
+// c2.keygen, dh.fetch, ...). On destruction (or explicit stop()) the
+// measured wall time goes to:
+//
+//  * the phase's registry Histogram — the process-wide aggregate view —
+//    unless the registry is disabled, and
+//  * optionally the request's CostLedger via add_local_measured(), which is
+//    protocol cost accounting (the Fig. 10 decomposition) and therefore
+//    recorded whether or not metrics are enabled.
+//
+// The ledger hookup is type-erased through a captureless lambda so this
+// header depends only on obs — sp::net keeps not knowing about obs, and any
+// type with add_local_measured(double) works (tests use a plain struct).
+//
+// A histogram-only span against a disabled registry skips the clock reads
+// entirely: that is the "no-op registry" cost the overhead bench measures.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace sp::obs {
+
+class TraceSpan {
+ public:
+  /// Histogram-only phase (SP-side or network-side work that the receiver's
+  /// ledger does not account as local time).
+  explicit TraceSpan(Histogram& hist) : hist_(&hist), active_(hist.enabled()) {
+    if (active_) start_ = Clock::now();
+  }
+
+  /// Phase that also charges the request's ledger. Always times: the ledger
+  /// is per-request protocol accounting, not metrics.
+  template <typename Ledger>
+  TraceSpan(Histogram& hist, Ledger& ledger)
+      : hist_(&hist),
+        sink_(&ledger),
+        add_ms_([](void* sink, double ms) { static_cast<Ledger*>(sink)->add_local_measured(ms); }),
+        active_(true) {
+    start_ = Clock::now();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { stop(); }
+
+  /// Ends the span early (idempotent). Returns the measured wall ms, 0 when
+  /// the span never armed.
+  double stop() {
+    if (!active_) return 0;
+    active_ = false;
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+    hist_->observe(ms);
+    if (add_ms_ != nullptr) add_ms_(sink_, ms);
+    return ms;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram* hist_;
+  void* sink_ = nullptr;
+  void (*add_ms_)(void*, double) = nullptr;
+  bool active_;
+  Clock::time_point start_{};
+};
+
+}  // namespace sp::obs

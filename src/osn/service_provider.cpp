@@ -4,14 +4,56 @@
 #include <stdexcept>
 
 #include "crypto/secret.hpp"
+#include "obs/metrics.hpp"
 
 namespace sp::osn {
+
+namespace {
+
+/// SP front-end instruments (docs/OBSERVABILITY.md catalog). One set for the
+/// process: every ServiceProvider instance reports into the same series,
+/// which is the aggregate a deployment scrapes.
+struct SpMetrics {
+  obs::Counter& store;
+  obs::Counter& replace;
+  obs::Counter& read;
+  obs::Counter& observe;
+  obs::Counter& tamper;
+  obs::Counter& tamper_rejected;
+  obs::Gauge& records;
+  obs::Gauge& observations;
+
+  static SpMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SpMetrics m{
+        reg.counter("osn_sp_requests_total", "ServiceProvider requests by operation",
+                    {{"op", "store_record"}}),
+        reg.counter("osn_sp_requests_total", "", {{"op", "replace_record"}}),
+        reg.counter("osn_sp_requests_total", "", {{"op", "record"}}),
+        reg.counter("osn_sp_requests_total", "", {{"op", "observe"}}),
+        reg.counter("osn_sp_requests_total", "", {{"op", "tamper_record"}}),
+        reg.counter("osn_sp_tamper_rejected_total",
+                    "tamper_record calls rejected by the bounds check"),
+        reg.gauge("osn_sp_records", "Puzzle records held across all SP instances"),
+        reg.gauge("osn_sp_observations", "Observation-log entries across all SP instances"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ServiceProvider::~ServiceProvider() {
   // No lock: by the time the destructor runs, no other thread may touch the
   // object (the usual C++ lifetime rule; the hammer tests join first).
-  records_.for_each_mutable([](const std::string&, Bytes& rec) { crypto::secure_wipe(rec); });
-  for (auto& obs : observations_) crypto::secure_wipe(obs.data);
+  std::size_t wiped = 0;
+  records_.for_each_mutable([&wiped](const std::string&, Bytes& rec) {
+    crypto::secure_wipe(rec);
+    ++wiped;
+  });
+  for (auto& obs_entry : observations_) crypto::secure_wipe(obs_entry.data);
+  SpMetrics::get().records.sub(static_cast<std::int64_t>(wiped));
+  SpMetrics::get().observations.sub(static_cast<std::int64_t>(observations_.size()));
 }
 
 std::string ServiceProvider::store_record(Bytes record) {
@@ -19,14 +61,18 @@ std::string ServiceProvider::store_record(Bytes record) {
   // which id is scheduling-dependent, but every id is issued exactly once.
   const std::string id = "puzzle-" + std::to_string(next_.fetch_add(1, std::memory_order_relaxed));
   records_.put(id, std::move(record));
+  SpMetrics::get().store.inc();
+  SpMetrics::get().records.add(1);
   return id;
 }
 
 Bytes ServiceProvider::record(const std::string& puzzle_id) const {
+  SpMetrics::get().read.inc();
   return records_.get(puzzle_id, "ServiceProvider");
 }
 
 void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record) {
+  SpMetrics::get().replace.inc();
   records_.mutate(puzzle_id, "ServiceProvider", [&record](Bytes& stored) {
     crypto::secure_wipe(stored);  // refresh must not leave the old puzzle readable
     stored = std::move(record);
@@ -34,6 +80,8 @@ void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record)
 }
 
 void ServiceProvider::observe(const std::string& channel, Bytes data) const {
+  SpMetrics::get().observe.inc();
+  SpMetrics::get().observations.add(1);
   const std::lock_guard<std::mutex> lock(observations_mutex_);
   observations_.push_back(Observation{channel, std::move(data)});
 }
@@ -58,18 +106,20 @@ bool ServiceProvider::view_contains(std::span<const std::uint8_t> needle) const 
   });
   if (found) return true;
   const std::lock_guard<std::mutex> lock(observations_mutex_);
-  for (const auto& obs : observations_) {
-    if (contains(obs.data, needle)) return true;
+  for (const auto& obs_entry : observations_) {
+    if (contains(obs_entry.data, needle)) return true;
   }
   return false;
 }
 
 void ServiceProvider::tamper_record(const std::string& puzzle_id, std::size_t offset,
                                     Bytes replacement) {
+  SpMetrics::get().tamper.inc();
   records_.mutate(puzzle_id, "ServiceProvider", [&](Bytes& stored) {
     // Subtraction-form bounds check: `offset + replacement.size()` wraps for
     // huge offsets and would wave an out-of-bounds write through.
     if (offset > stored.size() || replacement.size() > stored.size() - offset) {
+      SpMetrics::get().tamper_rejected.inc();
       throw std::out_of_range("ServiceProvider: tamper out of range");
     }
     std::copy(replacement.begin(), replacement.end(),

@@ -75,6 +75,19 @@ class ShardedStore {
     return s.entries.erase(key) > 0;
   }
 
+  /// Erases and returns the value (nullopt when absent). One lock, so
+  /// callers can account for what was removed (e.g. bytes-at-rest gauges)
+  /// without a racy read-then-erase pair.
+  [[nodiscard]] std::optional<Value> take(const std::string& key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) return std::nullopt;
+    std::optional<Value> out(std::move(it->second));
+    s.entries.erase(it);
+    return out;
+  }
+
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& s : shards_) {

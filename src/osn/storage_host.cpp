@@ -3,8 +3,50 @@
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
 
 namespace sp::osn {
+
+namespace {
+
+/// DH front-end instruments (docs/OBSERVABILITY.md catalog); process-wide
+/// totals across every StorageHost instance.
+struct DhMetrics {
+  obs::Counter& store;
+  obs::Counter& fetch;
+  obs::Counter& fetch_miss;
+  obs::Counter& remove;
+  obs::Counter& tamper;
+  obs::Gauge& objects;
+  obs::Gauge& bytes_at_rest;
+
+  static DhMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static DhMetrics m{
+        reg.counter("osn_dh_requests_total", "StorageHost requests by operation",
+                    {{"op", "store"}}),
+        reg.counter("osn_dh_requests_total", "", {{"op", "fetch"}}),
+        reg.counter("osn_dh_fetch_miss_total", "Fetches of unknown URLs (malicious-SP pointers)"),
+        reg.counter("osn_dh_requests_total", "", {{"op", "remove"}}),
+        reg.counter("osn_dh_requests_total", "", {{"op", "tamper"}}),
+        reg.gauge("osn_dh_objects", "Encrypted objects at rest across all DH instances"),
+        reg.gauge("osn_dh_bytes", "Encrypted bytes at rest across all DH instances"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+StorageHost::~StorageHost() {
+  std::size_t objects = 0, bytes = 0;
+  blobs_.for_each([&](const std::string&, const Bytes& blob) {
+    ++objects;
+    bytes += blob.size();
+  });
+  DhMetrics::get().objects.sub(static_cast<std::int64_t>(objects));
+  DhMetrics::get().bytes_at_rest.sub(static_cast<std::int64_t>(bytes));
+}
 
 std::string StorageHost::store(Bytes blob) {
   // URL = hash of (counter || size): stable and unguessable-looking, without
@@ -17,11 +59,22 @@ std::string StorageHost::store(Bytes blob) {
   for (int i = 7; i >= 0; --i) url_preimage.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
   const std::string url =
       "dh://objects/" + crypto::to_hex(crypto::Sha256::hash(url_preimage)).substr(0, 24);
+  DhMetrics::get().store.inc();
+  DhMetrics::get().objects.add(1);
+  DhMetrics::get().bytes_at_rest.add(static_cast<std::int64_t>(size));
   blobs_.put(url, std::move(blob));
   return url;
 }
 
-Bytes StorageHost::fetch(const std::string& url) const { return blobs_.get(url, "StorageHost"); }
+Bytes StorageHost::fetch(const std::string& url) const {
+  DhMetrics::get().fetch.inc();
+  try {
+    return blobs_.get(url, "StorageHost");
+  } catch (const std::out_of_range&) {
+    DhMetrics::get().fetch_miss.inc();
+    throw;
+  }
+}
 
 std::size_t StorageHost::bytes_stored() const {
   std::size_t total = 0;
@@ -30,6 +83,7 @@ std::size_t StorageHost::bytes_stored() const {
 }
 
 void StorageHost::tamper(const std::string& url, std::size_t byte_index) {
+  DhMetrics::get().tamper.inc();
   blobs_.mutate(url, "StorageHost", [byte_index](Bytes& blob) {
     if (blob.empty()) return;
     blob[byte_index % blob.size()] ^= 0x01;
@@ -37,7 +91,11 @@ void StorageHost::tamper(const std::string& url, std::size_t byte_index) {
 }
 
 void StorageHost::remove(const std::string& url) {
-  if (!blobs_.erase(url)) throw std::out_of_range("StorageHost: unknown URL");
+  DhMetrics::get().remove.inc();
+  const std::optional<Bytes> gone = blobs_.take(url);
+  if (!gone) throw std::out_of_range("StorageHost: unknown URL");
+  DhMetrics::get().objects.sub(1);
+  DhMetrics::get().bytes_at_rest.sub(static_cast<std::int64_t>(gone->size()));
 }
 
 }  // namespace sp::osn

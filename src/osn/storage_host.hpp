@@ -23,6 +23,9 @@ using crypto::Bytes;
 class StorageHost {
  public:
   StorageHost() = default;
+  /// Settles the process-wide object/byte gauges for everything still at
+  /// rest in this instance.
+  ~StorageHost();
   // Shard mutexes pin the host in place: construct it where it serves.
   StorageHost(const StorageHost&) = delete;
   StorageHost& operator=(const StorageHost&) = delete;

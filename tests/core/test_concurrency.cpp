@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +47,77 @@ TEST(ThreadPool, RunsEverySubmittedTaskWithBoundedQueue) {
     pool.wait_idle();
   }
   EXPECT_EQ(executed.load(), 201);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2, 4);
+  std::atomic<int> executed{0};
+  pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+  pool.shutdown();
+  EXPECT_EQ(executed.load(), 1);  // shutdown drains what was accepted
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, IntrospectionCountsQueuedAndExecuting) {
+  ThreadPool pool(2, 8);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+
+  std::atomic<bool> gate{false};
+  std::atomic<int> started{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      started.fetch_add(1, std::memory_order_relaxed);
+      while (!gate.load(std::memory_order_relaxed)) std::this_thread::yield();
+    });
+  }
+  // Both workers hold a task at the gate; the other two tasks must be queued.
+  while (started.load(std::memory_order_relaxed) < 2) std::this_thread::yield();
+  EXPECT_EQ(pool.in_flight(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  gate.store(true, std::memory_order_relaxed);
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ThreadPool, ShutdownWakesBlockedSubmitterToFailLoudly) {
+  ThreadPool pool(1, 1);
+  std::atomic<bool> gate{false};
+  std::atomic<int> executed{0};
+  // Occupy the single worker, then fill the queue: the next submit blocks.
+  pool.submit([&] {
+    while (!gate.load(std::memory_order_relaxed)) std::this_thread::yield();
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  while (pool.in_flight() != 1) std::this_thread::yield();
+  pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+
+  std::atomic<bool> rejected{false};
+  std::thread submitter([&] {
+    try {
+      pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    } catch (const std::runtime_error&) {
+      rejected.store(true, std::memory_order_relaxed);
+    }
+  });
+  // Let the submitter reach its full-queue wait, then shut down concurrently:
+  // it must be woken to throw (pre-PR4 the task would have been dropped on
+  // the floor; a hang here is the other failure mode this test guards).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread closer([&pool] { pool.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.store(true, std::memory_order_relaxed);  // release the worker so shutdown can join
+  closer.join();
+  submitter.join();
+
+  EXPECT_TRUE(rejected.load());
+  EXPECT_EQ(executed.load(), 2);  // accepted work ran; rejected work did not
 }
 
 TEST(ConcurrencyHammer, ServiceProviderStoreRecordObserveTamper) {

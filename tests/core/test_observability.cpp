@@ -1,0 +1,175 @@
+// End-to-end checks that the serving stack reports into the global
+// MetricsRegistry: access outcome counters and latency series, the
+// access_with_retries counters, and the per-phase histograms (the paper's
+// Fig. 10 decomposition). The registry is process-wide and shared across
+// tests, so every assertion is on deltas around the operation under test.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+
+namespace sp::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+obs::Counter& counter(const char* name, const obs::Labels& labels = {}) {
+  return obs::MetricsRegistry::global().counter(name, "", labels);
+}
+
+obs::Histogram& phase_hist(const char* phase) {
+  return obs::MetricsRegistry::global().histogram(
+      "sp_phase_latency_ms", "", obs::Histogram::default_latency_bounds_ms(),
+      {{"phase", phase}});
+}
+
+obs::Histogram& outcome_hist(const char* scheme, const char* result) {
+  return obs::MetricsRegistry::global().histogram(
+      "sp_access_latency_ms", "", obs::Histogram::default_latency_bounds_ms(),
+      {{"result", result}, {"scheme", scheme}});
+}
+
+Context party_context() {
+  return Context({{"Where did we meet?", "Paris"},
+                  {"What did we eat?", "pizza"},
+                  {"Who hosted?", "Alice"},
+                  {"Which month?", "June"}});
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  ObservabilityTest() {
+    SessionConfig cfg;
+    cfg.pairing_preset = ec::ParamPreset::kToy;
+    cfg.seed = "observability-tests";
+    session_ = std::make_unique<Session>(cfg);
+    sharer_ = session_->register_user("sharer");
+    friend_ = session_->register_user("friend");
+    session_->befriend(sharer_, friend_);
+  }
+
+  std::unique_ptr<Session> session_;
+  osn::UserId sharer_ = 0, friend_ = 0;
+};
+
+TEST_F(ObservabilityTest, DeniedRetriesCountAndStayOutOfSuccessSeries) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_->share_c1(sharer_, to_bytes("object"), ctx, /*k=*/2, /*n=*/4, net::pc_profile());
+
+  auto& denied_total = counter("sp_access_denied_total");
+  auto& granted_total = counter("sp_access_granted_total");
+  auto& retried_total = counter("sp_access_retried_total");
+  auto& denied_requests = counter("sp_access_requests_total",
+                                  {{"result", "denied"}, {"scheme", "c1"}});
+  auto& granted_hist = outcome_hist("c1", "granted");
+  auto& denied_hist = outcome_hist("c1", "denied");
+  const auto denied0 = denied_total.value();
+  const auto granted0 = granted_total.value();
+  const auto retried0 = retried_total.value();
+  const auto denied_req0 = denied_requests.value();
+  const auto granted_hist0 = granted_hist.count();
+  const auto denied_hist0 = denied_hist.count();
+
+  // k - 1 correct answers: every draw must deny, so all 3 draws are spent.
+  crypto::Drbg rng("obs-partial");
+  const auto result = session_->access_with_retries(
+      friend_, receipt.post_id, Knowledge::partial(ctx, 1, rng), net::pc_profile(),
+      /*max_draws=*/3);
+  EXPECT_FALSE(result.granted);
+
+  EXPECT_EQ(denied_total.value(), denied0 + 1);    // one exhausted call
+  EXPECT_EQ(retried_total.value(), retried0 + 2);  // draws 2 and 3
+  EXPECT_EQ(granted_total.value(), granted0);
+  EXPECT_EQ(denied_requests.value(), denied_req0 + 3);  // every draw denied
+  // The secret-hygiene of the outcome split: a denied receiver must never
+  // appear in the success latency series.
+  EXPECT_EQ(granted_hist.count(), granted_hist0);
+  EXPECT_EQ(denied_hist.count(), denied_hist0 + 3);
+}
+
+TEST_F(ObservabilityTest, GrantedC1AccessPopulatesOutcomeAndPhaseSeries) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_->share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
+
+  auto& granted_total = counter("sp_access_granted_total");
+  auto& granted_requests = counter("sp_access_requests_total",
+                                   {{"result", "granted"}, {"scheme", "c1"}});
+  auto& granted_hist = outcome_hist("c1", "granted");
+  auto& answer_phase = phase_hist("c1.answer_hashes");
+  auto& verify_phase = phase_hist("sp.verify");
+  auto& fetch_phase = phase_hist("dh.fetch");
+  auto& interpolate_phase = phase_hist("c1.interpolate");
+  const auto granted0 = granted_total.value();
+  const auto requests0 = granted_requests.value();
+  const auto hist0 = granted_hist.count();
+  const auto answer0 = answer_phase.count();
+  const auto verify0 = verify_phase.count();
+  const auto fetch0 = fetch_phase.count();
+  const auto interpolate0 = interpolate_phase.count();
+
+  const auto result = session_->access_with_retries(friend_, receipt.post_id,
+                                                    Knowledge::full(ctx), net::pc_profile());
+  ASSERT_TRUE(result.success());
+
+  EXPECT_EQ(granted_total.value(), granted0 + 1);
+  EXPECT_EQ(granted_requests.value(), requests0 + 1);
+  EXPECT_EQ(granted_hist.count(), hist0 + 1);
+  EXPECT_EQ(answer_phase.count(), answer0 + 1);
+  EXPECT_EQ(verify_phase.count(), verify0 + 1);
+  EXPECT_EQ(fetch_phase.count(), fetch0 + 1);
+  EXPECT_EQ(interpolate_phase.count(), interpolate0 + 1);
+  EXPECT_GT(granted_hist.sum_ms(), 0.0);
+}
+
+TEST_F(ObservabilityTest, C2AccessPopulatesAbePhasesAndPairingHistogram) {
+  const Context ctx = party_context();
+  const auto receipt =
+      session_->share_c2(sharer_, to_bytes("object"), ctx, 2, net::pc_profile());
+
+  auto& upload_phase = phase_hist("c2.upload");
+  auto& keygen_phase = phase_hist("c2.keygen");
+  auto& decrypt_phase = phase_hist("c2.decrypt");
+  auto& access_phase = phase_hist("c2.access");
+  auto& pairing_hist = obs::MetricsRegistry::global().histogram("crypto_pairing_ms");
+  EXPECT_GE(upload_phase.count(), 1u);  // the share above already ran
+  const auto keygen0 = keygen_phase.count();
+  const auto decrypt0 = decrypt_phase.count();
+  const auto access0 = access_phase.count();
+  const auto pairing0 = pairing_hist.count();
+
+  const auto result =
+      session_->access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+  ASSERT_TRUE(result.success());
+
+  EXPECT_EQ(keygen_phase.count(), keygen0 + 1);
+  EXPECT_EQ(decrypt_phase.count(), decrypt0 + 1);
+  EXPECT_EQ(access_phase.count(), access0 + 1);
+  // Decrypt pairs once per recovered leaf attribute plus the blinding pair —
+  // at least one full pairing evaluation per C2 access.
+  EXPECT_GT(pairing_hist.count(), pairing0);
+}
+
+TEST_F(ObservabilityTest, ShareAndRefreshCountersIncrement) {
+  const Context ctx = party_context();
+  auto& shares_c1 = counter("sp_share_requests_total", {{"scheme", "c1"}});
+  auto& refreshes = counter("sp_refresh_requests_total");
+  const auto shares0 = shares_c1.value();
+  const auto refreshes0 = refreshes.value();
+
+  const auto receipt =
+      session_->share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
+  EXPECT_EQ(shares_c1.value(), shares0 + 1);
+
+  session_->refresh(sharer_, receipt.post_id, to_bytes("object v2"), ctx, net::pc_profile());
+  EXPECT_EQ(refreshes.value(), refreshes0 + 1);
+  EXPECT_EQ(shares_c1.value(), shares0 + 1);  // refresh is not a share
+}
+
+}  // namespace
+}  // namespace sp::core

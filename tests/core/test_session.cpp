@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace sp::core {
 namespace {
 
@@ -119,17 +121,35 @@ TEST_F(SessionTest, SharerCanAccessOwnPost) {
 
 TEST_F(SessionTest, C2CostsMoreThanC1) {
   // The headline of Fig. 10(a)/(b): I2's four-file exchange and pairing
-  // workload dominate I1 on both axes.
+  // workload dominate I1 on both axes. Network/byte costs are modeled and
+  // deterministic; local_ms is a wall-clock measurement, so when ctest -j
+  // oversubscribes a small machine a preemption mid-share can flip a single
+  // sample — compare best-of-N instead of one draw.
   const Context ctx = party_context();
   const Bytes object = to_bytes("same 100-char object for both constructions, padded a bit!!");
   const auto r1 = session_.share_c1(sharer_, object, ctx, 1, 4, net::pc_profile());
   const auto r2 = session_.share_c2(sharer_, object, ctx, 1, net::pc_profile());
   EXPECT_GT(r2.cost.network_ms(), r1.cost.network_ms());
   EXPECT_GT(r2.cost.bytes_transferred(), r1.cost.bytes_transferred());
-  EXPECT_GT(r2.cost.local_ms(), r1.cost.local_ms());
+
+  double c1_best = r1.cost.local_ms();
+  double c2_best = r2.cost.local_ms();
+  for (int attempt = 0; attempt < 4 && c2_best <= c1_best; ++attempt) {
+    c1_best = std::min(
+        c1_best,
+        session_.share_c1(sharer_, object, ctx, 1, 4, net::pc_profile()).cost.local_ms());
+    c2_best = std::min(
+        c2_best,
+        session_.share_c2(sharer_, object, ctx, 1, net::pc_profile()).cost.local_ms());
+  }
+  EXPECT_GT(c2_best, c1_best);
 }
 
 TEST_F(SessionTest, TabletScalesLocalTimeOnly) {
+  // Identical seeds -> identical crypto; tablet local time is the same wall
+  // measurement scaled up 5x. A preemption during the PC share can still
+  // inflate one sample past the scaled tablet one on an oversubscribed
+  // machine, so compare best-of-N (bytes stay deterministic, checked once).
   const Context ctx = party_context();
   const Bytes object = to_bytes("obj");
   Session pc_session(toy_config("device-compare"));
@@ -139,9 +159,20 @@ TEST_F(SessionTest, TabletScalesLocalTimeOnly) {
 
   const auto pc = pc_session.share_c1(pc_sharer, object, ctx, 2, 4, net::pc_profile());
   const auto tab = tab_session.share_c1(tab_sharer, object, ctx, 2, 4, net::tablet_profile());
-  // Identical seeds -> identical crypto; tablet local time is scaled up.
-  EXPECT_GT(tab.cost.local_ms(), pc.cost.local_ms());
   EXPECT_EQ(tab.cost.bytes_transferred(), pc.cost.bytes_transferred());
+
+  double pc_best = pc.cost.local_ms();
+  double tab_best = tab.cost.local_ms();
+  for (int attempt = 0; attempt < 4 && tab_best <= pc_best; ++attempt) {
+    pc_best = std::min(
+        pc_best,
+        pc_session.share_c1(pc_sharer, object, ctx, 2, 4, net::pc_profile()).cost.local_ms());
+    tab_best = std::min(tab_best, tab_session
+                                      .share_c1(tab_sharer, object, ctx, 2, 4,
+                                                net::tablet_profile())
+                                      .cost.local_ms());
+  }
+  EXPECT_GT(tab_best, pc_best);
 }
 
 TEST_F(SessionTest, MultipleSharesCoexist) {

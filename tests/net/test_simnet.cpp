@@ -1,5 +1,7 @@
 #include "net/simnet.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <gtest/gtest.h>
 
 namespace sp::net {
@@ -67,6 +69,26 @@ TEST(CpuTimer, MeasuresElapsedTime) {
   const double first = t.elapsed_ms();
   t.reset();
   EXPECT_LE(t.elapsed_ms(), first + 1.0);
+}
+
+TEST(Network, MetricsCountTransfersBytesAndDelay) {
+  // Process-wide link instruments (PR 4): assert deltas around two modeled
+  // exchanges.
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& transfers = reg.counter("net_transfers_total");
+  auto& bytes = reg.counter("net_bytes_total");
+  auto& delay = reg.histogram("net_transfer_ms");
+  const auto transfers0 = transfers.value();
+  const auto bytes0 = bytes.value();
+  const auto delay0 = delay.count();
+
+  Network n(wlan_80211n_to_ec2(), crypto::Drbg("metrics"));
+  const double a = n.transfer_ms(1000);
+  const double b = n.transfer_ms(2500, 2);
+  EXPECT_EQ(transfers.value(), transfers0 + 2);
+  EXPECT_EQ(bytes.value(), bytes0 + 3500);
+  EXPECT_EQ(delay.count(), delay0 + 2);
+  EXPECT_GE(delay.sum_ms(), 0.9 * (a + b));  // fixed-point µs rounding slack
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
 #include "osn/storage_host.hpp"
@@ -159,6 +160,54 @@ TEST(ServiceProvider, TamperHugeOffsetRejected) {
   sp.tamper_record(id, 9, to_bytes("X"));
   EXPECT_EQ(crypto::to_string(sp.record(id)), "012345678X");
   EXPECT_THROW(sp.tamper_record(id, 10, to_bytes("x")), std::out_of_range);
+}
+
+// ---- observability (PR 4): front-end instruments move with the traffic ----
+// The registry is process-wide, so all assertions are deltas.
+
+TEST(ServiceProvider, MetricsCountRequestsAndSettleOnDestruction) {
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& stores = reg.counter("osn_sp_requests_total", "", {{"op", "store_record"}});
+  auto& tamper_rejected = reg.counter("osn_sp_tamper_rejected_total");
+  auto& records = reg.gauge("osn_sp_records");
+  const auto stores0 = stores.value();
+  const auto rejected0 = tamper_rejected.value();
+  const auto records0 = records.value();
+  {
+    ServiceProvider sp;
+    const std::string id = sp.store_record(to_bytes("0123456789"));
+    sp.store_record(to_bytes("more"));
+    EXPECT_EQ(stores.value(), stores0 + 2);
+    EXPECT_EQ(records.value(), records0 + 2);
+    EXPECT_THROW(sp.tamper_record(id, 10, to_bytes("x")), std::out_of_range);
+    EXPECT_EQ(tamper_rejected.value(), rejected0 + 1);
+  }
+  // Destruction wipes the records and settles the process-wide gauge.
+  EXPECT_EQ(records.value(), records0);
+}
+
+TEST(StorageHost, MetricsTrackObjectsBytesAndMisses) {
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& objects = reg.gauge("osn_dh_objects");
+  auto& bytes_at_rest = reg.gauge("osn_dh_bytes");
+  auto& misses = reg.counter("osn_dh_fetch_miss_total");
+  const auto objects0 = objects.value();
+  const auto bytes0 = bytes_at_rest.value();
+  const auto misses0 = misses.value();
+  {
+    StorageHost dh;
+    const std::string url = dh.store(to_bytes("0123456789"));
+    const std::string url2 = dh.store(to_bytes("abc"));
+    EXPECT_EQ(objects.value(), objects0 + 2);
+    EXPECT_EQ(bytes_at_rest.value(), bytes0 + 13);
+    EXPECT_THROW(dh.fetch("dh://objects/nonexistent"), std::out_of_range);
+    EXPECT_EQ(misses.value(), misses0 + 1);
+    dh.remove(url2);
+    EXPECT_EQ(objects.value(), objects0 + 1);
+    EXPECT_EQ(bytes_at_rest.value(), bytes0 + 10);
+  }
+  EXPECT_EQ(objects.value(), objects0);
+  EXPECT_EQ(bytes_at_rest.value(), bytes0);
 }
 
 }  // namespace
