@@ -26,6 +26,7 @@ sp_add_bench(bench_baseline_success)
 sp_add_bench(bench_acl_maintenance)
 sp_add_bench(bench_params)
 sp_add_bench(bench_concurrent_access)
+sp_add_bench(bench_fault_sweep)
 
 # Micro-benchmarks (google-benchmark).
 sp_add_gbench(bench_micro_crypto)

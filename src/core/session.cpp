@@ -50,6 +50,11 @@ struct SessionMetrics {
   obs::Counter& access_denied;
   obs::Counter& access_granted;
 
+  // Fault-retry layer (DESIGN.md "Fault model & retry semantics").
+  obs::Counter& retries_draw;
+  obs::Counter& retries_fault;
+  obs::Counter& deadline_exceeded;
+
   static obs::Histogram& phase(const char* name) {
     return obs::MetricsRegistry::global().histogram(
         "sp_phase_latency_ms", "Per-phase serving latency",
@@ -100,6 +105,10 @@ struct SessionMetrics {
                     "access_with_retries calls that exhausted every draw denied"),
         reg.counter("sp_access_granted_total",
                     "access_with_retries calls that ended in a grant"),
+        reg.counter("sp_retries_total", "Serving retries by phase", {{"phase", "draw"}}),
+        reg.counter("sp_retries_total", "", {{"phase", "fault"}}),
+        reg.counter("sp_deadline_exceeded_total",
+                    "Requests whose retry budget ran out against the modeled deadline"),
     };
     return m;
   }
@@ -116,6 +125,7 @@ Session::Session(SessionConfig config)
           curve_.fp(), curve_)),
       c2_(std::make_unique<Construction2>(curve_)),
       network_(config_.link, crypto::Drbg(config_.seed + "-net")),
+      injector_(config_.faults ? std::make_unique<net::FaultInjector>(*config_.faults) : nullptr),
       rng_(config_.seed + "-session") {}
 
 crypto::Drbg Session::fork_rng(const std::string& label) const {
@@ -337,11 +347,17 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
   }
   net::CostLedger ledger(device);
   crypto::Drbg op_rng = fork_rng("access-" + post_id);
+  // Each attempt gets its own fault tape: decisions depend only on (plan
+  // seed, receiver, post, per-(receiver, post) ordinal), never on thread
+  // scheduling. See faults.hpp's determinism contract.
+  std::optional<net::FaultStream> fault_tape;
+  if (injector_) fault_tape = injector_->stream(receiver, post_id);
+  net::FaultStream* faults = fault_tape ? &*fault_tape : nullptr;
   const bool is_c1 = stored.kind == SchemeKind::kConstruction1;
   CpuTimer wall;
   const AccessResult result =
-      is_c1 ? access_c1(stored, knowledge, ledger, op_rng)
-            : access_c2(stored, knowledge, ledger, op_rng);
+      is_c1 ? access_c1(stored, knowledge, ledger, op_rng, faults)
+            : access_c2(stored, knowledge, ledger, op_rng, faults);
   // End-to-end outcome series. `success()` (granted AND object recovered) is
   // the label, so a granted-but-tampered request counts as denied here.
   const double elapsed = wall.elapsed_ms();
@@ -361,12 +377,53 @@ AccessResult Session::access_with_retries(osn::UserId receiver, const std::strin
                                           const net::DeviceProfile& device, int max_draws) const {
   if (max_draws < 1) throw std::invalid_argument("access_with_retries: max_draws >= 1");
   SessionMetrics& metrics = SessionMetrics::get();
-  AccessResult result;
-  for (int draw = 0; draw < max_draws; ++draw) {
-    if (draw > 0) metrics.access_retried.inc();
-    result = access(receiver, post_id, knowledge, device);
-    if (result.success()) break;
+  const net::RetryPolicy& policy = config_.retry;
+  // Backoff jitter replays with the fault schedule (seeded, per-request),
+  // so a retried chaos run costs the same modeled time every run.
+  std::optional<net::FaultStream> jitter_tape;
+  if (injector_) {
+    jitter_tape = injector_->stream_for_label("retry-" + std::to_string(receiver) + "-" + post_id);
   }
+
+  net::CostLedger total(device);
+  AccessResult result;
+  int attempts = 0;
+  int draws = 1;          // challenge draws spent (first attempt included)
+  int fault_retries = 0;  // transient-fault retries spent
+  for (;;) {
+    ++attempts;
+    result = access(receiver, post_id, knowledge, device);
+    total.merge(result.cost);
+    if (result.success()) break;
+
+    if (result.error && net::is_transient(*result.error)) {
+      // Infrastructure blip: retry under the policy's attempt/deadline budget.
+      if (attempts >= policy.max_attempts) break;
+      const double unit = jitter_tape ? jitter_tape->jitter_unit(
+                                            static_cast<std::uint64_t>(fault_retries))
+                                      : 0.0;
+      const double wait = policy.backoff_ms(fault_retries, unit);
+      if (total.total_ms() + wait > policy.deadline_ms) {
+        result.error = net::ServeError::kDeadlineExceeded;
+        metrics.deadline_exceeded.inc();
+        break;
+      }
+      total.add_wait(wait);
+      ++fault_retries;
+      metrics.retries_fault.inc();
+      continue;
+    }
+    if (result.error) break;  // terminal fault — retrying cannot help
+
+    // Clean denial: C1's DisplayPuzzle drew an unlucky question subset; a
+    // fresh draw may cover the receiver's knowledge.
+    if (draws >= max_draws) break;
+    ++draws;
+    metrics.access_retried.inc();
+    metrics.retries_draw.inc();
+  }
+  result.cost = total;
+  result.attempts = attempts;
   (result.success() ? metrics.access_granted : metrics.access_denied).inc();
   return result;
 }
@@ -389,7 +446,10 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
       pool.submit([this, &requests, &results, &errors, i] {
         try {
           const AccessRequest& req = requests[i];
-          results[i] = access(req.receiver, req.post_id, req.knowledge, req.device);
+          // Through the retry loop, so batch serving survives transient
+          // faults the same way sequential serving does.
+          results[i] = access_with_retries(req.receiver, req.post_id, req.knowledge, req.device,
+                                           req.max_draws);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -404,37 +464,79 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
 }
 
 AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng) const {
+                                net::CostLedger& ledger, crypto::Drbg& rng,
+                                net::FaultStream* faults) const {
   const Puzzle& puzzle = *stored.puzzle;
   SessionMetrics& metrics = SessionMetrics::get();
+  AccessResult result;
+  // One request/response exchange under the fault schedule: success charges
+  // the modeled delay + bytes, a timeout charges the plan's wasted wait and
+  // reports the error instead.
+  const auto exchange = [&](std::size_t bytes, int round_trips) -> std::optional<net::ServeError> {
+    const net::Expected<double> delay = network_.try_transfer_ms(bytes, round_trips, faults);
+    if (!delay.ok()) {
+      ledger.add_wait(injector_->plan().transfer_timeout_ms);
+      return delay.error();
+    }
+    ledger.add_network(delay.value());
+    ledger.add_bytes(bytes);
+    return std::nullopt;
+  };
 
   // -- SP: DisplayPuzzle; network: challenge download -------------------
   obs::TraceSpan display_span(metrics.c1_display);
   const auto challenge = Construction1::display_puzzle(puzzle, rng);
   display_span.stop();
-  ledger.add_network(network_.transfer_ms(challenge.wire_size()));
-  ledger.add_bytes(challenge.wire_size());
+  if (const auto err = exchange(challenge.wire_size(), 1)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
   // -- receiver local: AnswerPuzzle (hashing) ----------------------------
   obs::TraceSpan answer_span(metrics.c1_answer_hashes, ledger);
   const auto response = Construction1::answer_puzzle(challenge, knowledge);
   answer_span.stop();
 
+  // -- SP availability: a transient outage drops the Verify exchange; the
+  //    receiver still paid for the response upload it sent into the void.
+  if (!sp_.serve_ok(faults)) {
+    ledger.add_network(network_.transfer_ms(response.wire_size()));
+    ledger.add_bytes(response.wire_size());
+    result.error = net::ServeError::kSpUnavailable;
+    result.cost = ledger;
+    return result;
+  }
+
   // -- network: response up, reply down (one exchange) -------------------
   // The SP's observation log gets everything the receiver sends.
   for (const Bytes& h : response.hashes) sp_.observe("c1-response-hash", h);
   obs::TraceSpan verify_span(metrics.sp_verify);
-  const auto reply = Construction1::verify(puzzle, challenge, response.hashes);
+  auto reply = Construction1::verify(puzzle, challenge, response.hashes);
   verify_span.stop();
-  ledger.add_network(
-      network_.transfer_ms(response.wire_size() + reply.wire_size()));
-  ledger.add_bytes(response.wire_size() + reply.wire_size());
+  if (const auto err = exchange(response.wire_size() + reply.wire_size(), 1)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
-  AccessResult result;
   result.granted = reply.granted;
   if (!reply.granted) {
     result.cost = ledger;
     return result;
+  }
+
+  // -- partial SP reply: some granted shares are lost in delivery. While
+  //    >= k survive the request degrades gracefully (Access only needs
+  //    threshold shares); below k the reply is unserviceable.
+  if (const std::size_t dropped = sp_.partial_drop(reply.shares.size(), faults); dropped > 0) {
+    reply.shares.resize(reply.shares.size() - dropped);
+    if (reply.shares.size() < puzzle.threshold) {
+      result.granted = false;
+      result.error = net::ServeError::kSpUnavailable;
+      result.cost = ledger;
+      return result;
+    }
   }
 
   // -- receiver local: verify the sharer's signature on (URL, k, K_Z) ----
@@ -451,40 +553,78 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
 
   // -- network: download O_{K_O} from the DH -----------------------------
   Bytes encrypted;
-  try {
+  {
     const obs::TraceSpan fetch_span(metrics.dh_fetch);
-    encrypted = dh_.fetch(reply.url);
-  } catch (const std::out_of_range&) {
-    result.cost = ledger;
-    return result;  // malicious SP pointed at a missing object
+    net::Expected<Bytes> fetched = dh_.try_fetch(reply.url, faults);
+    if (!fetched.ok()) {
+      // Injected miss, or a malicious SP pointing at a missing object.
+      result.error = fetched.error();
+      result.cost = ledger;
+      return result;
+    }
+    encrypted = std::move(fetched).value();
   }
-  ledger.add_network(network_.transfer_ms(encrypted.size()));
-  ledger.add_bytes(encrypted.size());
+  if (const auto err = exchange(encrypted.size(), 1)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
   // -- receiver local: Access (unblind, Lagrange, decrypt) --------------
   obs::TraceSpan access_span(metrics.c1_interpolate, ledger);
-  result.object = c1_->access(puzzle, challenge, reply, knowledge, encrypted);
+  try {
+    result.object = c1_->access(puzzle, challenge, reply, knowledge, encrypted);
+  } catch (const std::exception&) {
+    result.object = std::nullopt;  // delivered bytes too mangled to parse
+  }
   access_span.stop();
+  // Granted but undecryptable = the delivered bytes are bad (injected
+  // corruption or a tampering host), never a silent empty object.
+  if (!result.object) result.error = net::ServeError::kCorruptedBlob;
   result.cost = ledger;
   return result;
 }
 
 AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng) const {
+                                net::CostLedger& ledger, crypto::Drbg& rng,
+                                net::FaultStream* faults) const {
   const auto& files = *stored.c2_files;
   SessionMetrics& metrics = SessionMetrics::get();
+  AccessResult result;
+  const auto exchange = [&](std::size_t bytes, int round_trips) -> std::optional<net::ServeError> {
+    const net::Expected<double> delay = network_.try_transfer_ms(bytes, round_trips, faults);
+    if (!delay.ok()) {
+      ledger.add_wait(injector_->plan().transfer_timeout_ms);
+      return delay.error();
+    }
+    ledger.add_network(delay.value());
+    ledger.add_bytes(bytes);
+    return std::nullopt;
+  };
 
   // -- network: download details (τ' questions) --------------------------
   obs::TraceSpan display_span(metrics.c2_display);
   const auto challenge = Construction2::display_puzzle(files.perturbed_tree, files.threshold);
   display_span.stop();
-  ledger.add_network(network_.transfer_ms(challenge.wire_size()));
-  ledger.add_bytes(challenge.wire_size());
+  if (const auto err = exchange(challenge.wire_size(), 1)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
   // -- receiver local: hash answers --------------------------------------
   obs::TraceSpan answer_span(metrics.c2_answer_hashes, ledger);
   const auto response = Construction2::answer_puzzle(challenge, knowledge);
   answer_span.stop();
+
+  // -- SP availability (same semantics as C1's Verify exchange) ----------
+  if (!sp_.serve_ok(faults)) {
+    ledger.add_network(network_.transfer_ms(response.wire_size()));
+    ledger.add_bytes(response.wire_size());
+    result.error = net::ServeError::kSpUnavailable;
+    result.cost = ledger;
+    return result;
+  }
 
   for (const std::string& h : response.answer_hashes) {
     sp_.observe("c2-response-hash", crypto::to_bytes(h));
@@ -493,10 +633,12 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   const auto reply = Construction2::verify(files.perturbed_tree, files.threshold, challenge,
                                            response, stored.url);
   verify_span.stop();
-  ledger.add_network(network_.transfer_ms(response.wire_size() + reply.wire_size(files)));
-  ledger.add_bytes(response.wire_size() + reply.wire_size(files));
+  if (const auto err = exchange(response.wire_size() + reply.wire_size(files), 1)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
-  AccessResult result;
   result.granted = reply.granted;
   if (!reply.granted) {
     result.cost = ledger;
@@ -507,24 +649,41 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   //    one cold cURL connection each in the paper's Qt receiver -----------
   constexpr int kColdCurlRoundTrips = 3;
   Bytes ciphertext;
-  try {
+  {
     const obs::TraceSpan fetch_span(metrics.dh_fetch);
-    ciphertext = dh_.fetch(reply.url);
-  } catch (const std::out_of_range&) {
+    net::Expected<Bytes> fetched = dh_.try_fetch(reply.url, faults);
+    if (!fetched.ok()) {
+      result.error = fetched.error();
+      result.cost = ledger;
+      return result;
+    }
+    ciphertext = std::move(fetched).value();
+  }
+  if (const auto err = exchange(ciphertext.size(), kColdCurlRoundTrips)) {
+    result.error = err;
     result.cost = ledger;
     return result;
   }
-  ledger.add_network(network_.transfer_ms(ciphertext.size(), kColdCurlRoundTrips));
-  ledger.add_bytes(ciphertext.size());
-  ledger.add_network(network_.transfer_ms(files.public_key.size(), kColdCurlRoundTrips));
-  ledger.add_bytes(files.public_key.size());
-  ledger.add_network(network_.transfer_ms(files.master_key.size(), kColdCurlRoundTrips));
-  ledger.add_bytes(files.master_key.size());
+  if (const auto err = exchange(files.public_key.size(), kColdCurlRoundTrips)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
+  if (const auto err = exchange(files.master_key.size(), kColdCurlRoundTrips)) {
+    result.error = err;
+    result.cost = ledger;
+    return result;
+  }
 
   // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
   obs::TraceSpan access_span(metrics.c2_access, ledger);
-  result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng);
+  try {
+    result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng);
+  } catch (const std::exception&) {
+    result.object = std::nullopt;  // delivered bytes too mangled to parse
+  }
   access_span.stop();
+  if (!result.object) result.error = net::ServeError::kCorruptedBlob;
   result.cost = ledger;
   return result;
 }

@@ -25,6 +25,7 @@
 
 #include "core/construction1.hpp"
 #include "core/construction2.hpp"
+#include "net/faults.hpp"
 #include "net/simnet.hpp"
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
@@ -45,6 +46,12 @@ struct AccessResult {
   bool granted = false;      ///< SP-side Verify outcome
   std::optional<Bytes> object;  ///< decrypted object on full success
   net::CostLedger cost;      ///< receiver-side Fig. 10 decomposition
+  /// Why the serving path failed, when it failed on infrastructure rather
+  /// than knowledge (DESIGN.md "Fault model"). Never set on a clean denial.
+  std::optional<net::ServeError> error;
+  /// Serving attempts access_with_retries spent (fault retries + challenge
+  /// draws; plain access() always reports 1).
+  int attempts = 1;
 
   [[nodiscard]] bool success() const { return granted && object.has_value(); }
 };
@@ -53,6 +60,12 @@ struct SessionConfig {
   ec::ParamPreset pairing_preset = ec::ParamPreset::kTest;
   net::LinkProfile link = net::wlan_80211n_to_ec2();
   std::string seed = "sp-session";
+  /// Fault schedule for the serving stack; nullopt = fault-free (the
+  /// pre-chaos behavior, bit for bit).
+  std::optional<net::FaultPlan> faults;
+  /// Retry/backoff/deadline policy applied by access_with_retries and
+  /// access_parallel to transient faults.
+  net::RetryPolicy retry;
 };
 
 class Session {
@@ -106,11 +119,17 @@ class Session {
   AccessResult access(osn::UserId receiver, const std::string& post_id,
                       const Knowledge& knowledge, const net::DeviceProfile& device) const;
 
-  /// Construction 1's DisplayPuzzle shows a random r-subset of questions, so
-  /// a receiver who knows enough answers overall can still draw a challenge
-  /// missing them (the web UI just reloads the page). This retries up to
-  /// `max_draws` fresh challenges and returns the first success — or the
-  /// last failure, with the cost of that final attempt.
+  /// The unified retry loop (DESIGN.md "Fault model & retry semantics").
+  /// Two independent retry budgets:
+  ///  * challenge draws — Construction 1's DisplayPuzzle shows a random
+  ///    r-subset of questions, so a receiver who knows enough answers overall
+  ///    can still draw a challenge missing them (the web UI just reloads the
+  ///    page); up to `max_draws` fresh challenges.
+  ///  * transient faults — retried with the session's RetryPolicy
+  ///    (exponential backoff, seeded jitter) until max_attempts or the
+  ///    modeled deadline runs out (then error = kDeadlineExceeded).
+  /// The returned ledger is the sum over every attempt, failed ones and
+  /// backoff waits included; `attempts` reports how many were spent.
   AccessResult access_with_retries(osn::UserId receiver, const std::string& post_id,
                                    const Knowledge& knowledge,
                                    const net::DeviceProfile& device, int max_draws = 8) const;
@@ -121,6 +140,7 @@ class Session {
     std::string post_id;
     Knowledge knowledge;
     net::DeviceProfile device = net::pc_profile();
+    int max_draws = 1;  ///< challenge-draw budget (faults retry per RetryPolicy)
   };
 
   /// Fans a batch of access requests over a bounded-queue thread pool and
@@ -139,6 +159,9 @@ class Session {
   [[nodiscard]] const Construction1& c1() const { return *c1_; }
   [[nodiscard]] const Construction2& c2() const { return *c2_; }
   [[nodiscard]] const ec::Curve& curve() const { return curve_; }
+  /// The session's fault schedule (null when configured fault-free). Chaos
+  /// tests use it to cross-check injected-fault counts and schedule digests.
+  [[nodiscard]] const net::FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   struct StoredPuzzle {
@@ -158,9 +181,11 @@ class Session {
   crypto::Drbg fork_rng(const std::string& label) const;
 
   AccessResult access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng) const;
+                         net::CostLedger& ledger, crypto::Drbg& rng,
+                         net::FaultStream* faults) const;
   AccessResult access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng) const;
+                         net::CostLedger& ledger, crypto::Drbg& rng,
+                         net::FaultStream* faults) const;
 
   SessionConfig config_;
   ec::Curve curve_;
@@ -170,6 +195,7 @@ class Session {
   osn::ServiceProvider sp_;
   osn::StorageHost dh_;
   net::Network network_;
+  std::unique_ptr<net::FaultInjector> injector_;  ///< null = fault-free session
   mutable std::mutex rng_mutex_;
   mutable crypto::Drbg rng_;
   std::mutex keys_mutex_;  ///< guards user_keys_ lookups/inserts (nodes are stable)

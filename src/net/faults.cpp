@@ -1,0 +1,279 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+
+namespace sp::net {
+
+namespace {
+
+/// Fault-layer instruments (docs/OBSERVABILITY.md catalog): process-wide
+/// injected-fault totals across every FaultInjector, split by kind. The
+/// chaos suite asserts these deltas equal the injector's own counters.
+struct FaultMetrics {
+  std::array<obs::Counter*, kFaultKindCount> injected;
+
+  static FaultMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static FaultMetrics m{{
+        &reg.counter("sp_faults_injected_total", "Injected faults by kind",
+                     {{"kind", "transfer_timeout"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "latency_spike"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "sp_error"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "sp_partial_reply"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "dh_miss"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "dh_corrupt"}}),
+    }};
+    return m;
+  }
+};
+
+void update_hash(crypto::Sha256& h, std::string_view s) {
+  h.update(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void update_hash_u64(crypto::Sha256& h, std::uint64_t v) {
+  std::array<std::uint8_t, 8> le{};
+  for (int i = 0; i < 8; ++i) le[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  h.update(le);
+}
+
+/// First 8 digest bytes (LE) mapped to [0, 1) with 53 bits of precision.
+double digest_to_unit(const std::array<std::uint8_t, 32>& digest) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | digest[static_cast<std::size_t>(i)];
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+// Op-class tags for the per-stream PRF domain separation.
+constexpr std::uint8_t kClassTransfer = 0;
+constexpr std::uint8_t kClassSpError = 1;
+constexpr std::uint8_t kClassSpPartial = 2;
+constexpr std::uint8_t kClassDh = 3;
+constexpr std::uint8_t kClassJitter = 4;
+
+}  // namespace
+
+// ---------------------------------------------------------------- errors
+
+const char* to_string(ServeError err) {
+  switch (err) {
+    case ServeError::kTimeout: return "timeout";
+    case ServeError::kSpUnavailable: return "sp_unavailable";
+    case ServeError::kDhMiss: return "dh_miss";
+    case ServeError::kCorruptedBlob: return "corrupted_blob";
+    case ServeError::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+bool is_transient(ServeError err) {
+  switch (err) {
+    case ServeError::kTimeout:
+    case ServeError::kSpUnavailable:
+    case ServeError::kDhMiss:
+    case ServeError::kCorruptedBlob:
+      return true;
+    case ServeError::kDeadlineExceeded:
+      return false;
+  }
+  return false;
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransferTimeout: return "transfer_timeout";
+    case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kSpError: return "sp_error";
+    case FaultKind::kSpPartialReply: return "sp_partial_reply";
+    case FaultKind::kDhMiss: return "dh_miss";
+    case FaultKind::kDhCorrupt: return "dh_corrupt";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- plan
+
+FaultPlan FaultPlan::none() { return FaultPlan{}; }
+
+FaultPlan FaultPlan::uniform(double rate, std::string schedule_seed) {
+  if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("FaultPlan::uniform: rate in [0,1]");
+  FaultPlan plan;
+  plan.p_transfer_timeout = rate;
+  plan.p_latency_spike = rate;
+  plan.p_sp_error = rate;
+  plan.p_sp_partial = rate;
+  plan.p_dh_miss = rate;
+  plan.p_dh_corrupt = rate;
+  plan.seed = std::move(schedule_seed);
+  return plan;
+}
+
+// ---------------------------------------------------------------- stream
+
+FaultStream::FaultStream(const FaultInjector* injector, std::array<std::uint8_t, 32> base,
+                         bool record)
+    : injector_(injector), base_(base), record_(record) {}
+
+double FaultStream::unit(std::uint8_t op_class, std::uint64_t index) const {
+  crypto::Sha256 h;
+  h.update(base_);
+  h.update(std::array<std::uint8_t, 1>{op_class});
+  update_hash_u64(h, index);
+  return digest_to_unit(h.finish());
+}
+
+FaultStream::TransferFault FaultStream::next_transfer() {
+  const double u = unit(kClassTransfer, cursors_[kClassTransfer]++);
+  const FaultPlan& plan = injector_->plan();
+  TransferFault out;
+  if (u < plan.p_transfer_timeout) {
+    out.fault = ServeError::kTimeout;
+    if (record_) injector_->record(FaultKind::kTransferTimeout);
+  } else if (u < plan.p_transfer_timeout + plan.p_latency_spike) {
+    out.extra_ms = plan.latency_spike_ms;
+    if (record_) injector_->record(FaultKind::kLatencySpike);
+  }
+  return out;
+}
+
+bool FaultStream::next_sp_error() {
+  const double u = unit(kClassSpError, cursors_[kClassSpError]++);
+  if (u < injector_->plan().p_sp_error) {
+    if (record_) injector_->record(FaultKind::kSpError);
+    return true;
+  }
+  return false;
+}
+
+std::size_t FaultStream::next_sp_partial(std::size_t n_shares) {
+  const double u = unit(kClassSpPartial, cursors_[kClassSpPartial]++);
+  const FaultPlan& plan = injector_->plan();
+  if (n_shares < 1 || u >= plan.p_sp_partial) return 0;
+  const auto want = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n_shares) * plan.partial_drop_frac));
+  const std::size_t drop = std::clamp<std::size_t>(want, 1, n_shares);
+  if (record_) injector_->record(FaultKind::kSpPartialReply);
+  return drop;
+}
+
+std::optional<ServeError> FaultStream::next_dh() {
+  const double u = unit(kClassDh, cursors_[kClassDh]++);
+  const FaultPlan& plan = injector_->plan();
+  if (u < plan.p_dh_miss) {
+    if (record_) injector_->record(FaultKind::kDhMiss);
+    return ServeError::kDhMiss;
+  }
+  if (u < plan.p_dh_miss + plan.p_dh_corrupt) {
+    if (record_) injector_->record(FaultKind::kDhCorrupt);
+    return ServeError::kCorruptedBlob;
+  }
+  return std::nullopt;
+}
+
+double FaultStream::jitter_unit(std::uint64_t index) const { return unit(kClassJitter, index); }
+
+// ---------------------------------------------------------------- injector
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const double p : {plan_.p_transfer_timeout, plan_.p_latency_spike, plan_.p_sp_error,
+                         plan_.p_sp_partial, plan_.p_dh_miss, plan_.p_dh_corrupt}) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultPlan: probabilities in [0,1]");
+  }
+  if (plan_.p_dh_miss + plan_.p_dh_corrupt > 1.0) {
+    throw std::invalid_argument("FaultPlan: p_dh_miss + p_dh_corrupt must not exceed 1");
+  }
+  if (plan_.p_transfer_timeout + plan_.p_latency_spike > 1.0) {
+    throw std::invalid_argument("FaultPlan: p_transfer_timeout + p_latency_spike must not exceed 1");
+  }
+}
+
+std::array<std::uint8_t, 32> FaultInjector::stream_base(std::string_view scope,
+                                                        std::uint64_t ordinal) const {
+  crypto::Sha256 h;
+  update_hash(h, plan_.seed);
+  h.update(std::array<std::uint8_t, 1>{0x1f});
+  update_hash(h, scope);
+  h.update(std::array<std::uint8_t, 1>{0x1f});
+  update_hash_u64(h, ordinal);
+  return h.finish();
+}
+
+FaultStream FaultInjector::stream(std::uint64_t receiver, std::string_view post_id) const {
+  const std::string scope_id = std::to_string(receiver) + "\x1f" + std::string(post_id);
+  std::uint64_t ordinal = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ordinals_mutex_);
+    ordinal = ordinals_[scope_id]++;
+  }
+  return FaultStream(this, stream_base(scope_id, ordinal));
+}
+
+FaultStream FaultInjector::stream_for_label(std::string_view label) const {
+  const std::string scope_id = "label\x1f" + std::string(label);
+  std::uint64_t ordinal = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ordinals_mutex_);
+    ordinal = ordinals_[scope_id]++;
+  }
+  return FaultStream(this, stream_base(scope_id, ordinal));
+}
+
+void FaultInjector::record(FaultKind kind) const {
+  const auto i = static_cast<std::size_t>(kind);
+  injected_[i].fetch_add(1, std::memory_order_relaxed);
+  FaultMetrics::get().injected[i]->inc();
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return injected_[static_cast<std::size_t>(kind)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string FaultInjector::schedule_digest(std::string_view label, std::uint64_t streams,
+                                           std::uint64_t ops) const {
+  // Replays the schedule off to the side: a fresh FaultStream per request
+  // ordinal (bypassing the shared ordinal map so the digest never perturbs
+  // serving state), every op class, `ops` decisions each. Decisions — not
+  // raw PRF output — are hashed, so the digest captures exactly what the
+  // serving stack would observe.
+  crypto::Sha256 acc;
+  const std::string scope_id = "label\x1f" + std::string(label);
+  for (std::uint64_t s = 0; s < streams; ++s) {
+    FaultStream tape(this, stream_base(scope_id, s), /*record=*/false);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const auto transfer = tape.next_transfer();
+      const std::uint8_t transfer_code =
+          transfer.fault ? 1 : (transfer.extra_ms > 0.0 ? 2 : 0);
+      const std::uint8_t sp_code = tape.next_sp_error() ? 1 : 0;
+      const std::uint8_t partial_code = tape.next_sp_partial(8) > 0 ? 1 : 0;
+      const auto dh = tape.next_dh();
+      const std::uint8_t dh_code = !dh ? 0 : (*dh == ServeError::kDhMiss ? 1 : 2);
+      acc.update(std::array<std::uint8_t, 4>{transfer_code, sp_code, partial_code, dh_code});
+    }
+  }
+  const auto digest = acc.finish();
+  return crypto::to_hex(digest);
+}
+
+// ---------------------------------------------------------------- retry
+
+double RetryPolicy::backoff_ms(int retry_index, double jitter_unit) const {
+  if (retry_index < 0) throw std::invalid_argument("RetryPolicy::backoff_ms: retry_index >= 0");
+  double wait = base_backoff_ms;
+  for (int i = 0; i < retry_index && wait < max_backoff_ms; ++i) wait *= backoff_factor;
+  wait = std::min(wait, max_backoff_ms);
+  return wait * (1.0 + jitter_frac * jitter_unit);
+}
+
+}  // namespace sp::net

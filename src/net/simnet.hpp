@@ -23,6 +23,7 @@
 #include <type_traits>
 
 #include "crypto/drbg.hpp"
+#include "net/faults.hpp"
 
 namespace sp::net {
 
@@ -80,9 +81,18 @@ class Network {
   /// `round_trips` models chatty exchanges (e.g. multi-file uploads).
   double transfer_ms(std::size_t bytes, int round_trips = 1) const;
 
+  /// Fault-aware variant: consults `faults` (may be null = fault-free) before
+  /// modeling the exchange. A timed-out exchange returns Err(kTimeout) and
+  /// moves no payload — the caller decides what wasted wait to charge; a
+  /// latency spike succeeds with the spike surcharge added to the delay.
+  [[nodiscard]] Expected<double> try_transfer_ms(std::size_t bytes, int round_trips = 1,
+                                                 FaultStream* faults = nullptr) const;
+
   [[nodiscard]] const LinkProfile& link() const { return link_; }
 
  private:
+  [[nodiscard]] double modeled_ms(std::size_t bytes, int round_trips) const;
+
   LinkProfile link_;
   mutable std::mutex rng_mutex_;
   mutable crypto::Drbg rng_;
@@ -104,12 +114,27 @@ class CostLedger {
   void add_local_measured(double raw_ms) { local_ms_ += raw_ms * device_.cpu_scale; }
   /// Adds modeled network delay.
   void add_network(double ms) { network_ms_ += ms; }
+  /// Adds modeled wait that moved no payload: timed-out exchanges and
+  /// retry backoff. Kept apart from network_ms so the Fig. 10 network
+  /// series stays comparable with and without faults.
+  void add_wait(double ms) { wait_ms_ += ms; }
   /// Tracks payload volume for reporting.
   void add_bytes(std::size_t n) { bytes_ += n; }
 
+  /// Folds another attempt's costs into this ledger (device profile is kept
+  /// from *this). Retry loops merge every attempt so a request's ledger
+  /// reflects everything it really paid, failed attempts included.
+  void merge(const CostLedger& other) {
+    local_ms_ += other.local_ms_;
+    network_ms_ += other.network_ms_;
+    wait_ms_ += other.wait_ms_;
+    bytes_ += other.bytes_;
+  }
+
   [[nodiscard]] double local_ms() const { return local_ms_; }
   [[nodiscard]] double network_ms() const { return network_ms_; }
-  [[nodiscard]] double total_ms() const { return local_ms_ + network_ms_; }
+  [[nodiscard]] double wait_ms() const { return wait_ms_; }
+  [[nodiscard]] double total_ms() const { return local_ms_ + network_ms_ + wait_ms_; }
   [[nodiscard]] std::size_t bytes_transferred() const { return bytes_; }
   [[nodiscard]] const DeviceProfile& device() const { return device_; }
 
@@ -117,6 +142,7 @@ class CostLedger {
   DeviceProfile device_;
   double local_ms_ = 0;
   double network_ms_ = 0;
+  double wait_ms_ = 0;
   std::size_t bytes_ = 0;
 };
 

@@ -50,6 +50,17 @@ class ShardedStore {
     return it->second;
   }
 
+  /// Non-throwing lookup: copy of the value, or nullopt when absent. The
+  /// fault-aware serving paths report absence as data (a ServeError), so
+  /// they need a miss that doesn't unwind.
+  [[nodiscard]] std::optional<Value> get_if(const std::string& key) const {
+    const Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) return std::nullopt;
+    return it->second;
+  }
+
   [[nodiscard]] bool contains(const std::string& key) const {
     const Shard& s = shard_of(key);
     const std::lock_guard<std::mutex> lock(s.mutex);

@@ -76,6 +76,26 @@ Bytes StorageHost::fetch(const std::string& url) const {
   }
 }
 
+net::Expected<Bytes> StorageHost::try_fetch(const std::string& url,
+                                            net::FaultStream* faults) const {
+  std::optional<net::ServeError> injected;
+  if (faults != nullptr) injected = faults->next_dh();
+  if (injected == net::ServeError::kDhMiss) {
+    DhMetrics::get().fetch.inc();
+    return net::ServeError::kDhMiss;
+  }
+  DhMetrics::get().fetch.inc();
+  std::optional<Bytes> blob = blobs_.get_if(url);
+  if (!blob) {
+    DhMetrics::get().fetch_miss.inc();
+    return net::ServeError::kDhMiss;
+  }
+  if (injected == net::ServeError::kCorruptedBlob && !blob->empty()) {
+    (*blob)[blob->size() / 2] ^= 0x5a;
+  }
+  return std::move(*blob);
+}
+
 std::size_t StorageHost::bytes_stored() const {
   std::size_t total = 0;
   blobs_.for_each([&total](const std::string&, const Bytes& blob) { total += blob.size(); });

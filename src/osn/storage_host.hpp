@@ -14,6 +14,7 @@
 #include <string>
 
 #include "crypto/bytes.hpp"
+#include "net/faults.hpp"
 #include "osn/sharded_store.hpp"
 
 namespace sp::osn {
@@ -42,6 +43,15 @@ class StorageHost {
   /// and store is visible to the host (it *is* the host) — `observed_blobs`
   /// exposes that view to surveillance tests.
   [[nodiscard]] Bytes fetch(const std::string& url) const;
+
+  /// Fault-aware fetch (chaos layer, DESIGN.md "Fault model"): consults
+  /// `faults` (may be null = fault-free) before serving. An injected miss —
+  /// or a genuinely unknown URL — returns Err(kDhMiss) instead of throwing;
+  /// an injected corruption deterministically flips one byte of the
+  /// *delivered copy* (the object at rest is untouched), so decryption fails
+  /// downstream exactly like a flaky CDN edge.
+  [[nodiscard]] net::Expected<Bytes> try_fetch(const std::string& url,
+                                               net::FaultStream* faults = nullptr) const;
 
   [[nodiscard]] bool exists(const std::string& url) const { return blobs_.contains(url); }
   [[nodiscard]] std::size_t object_count() const { return blobs_.size(); }

@@ -15,6 +15,7 @@
 
 #include "core/session.hpp"
 #include "core/thread_pool.hpp"
+#include "support/fixtures.hpp"
 
 namespace sp::core {
 namespace {
@@ -190,34 +191,10 @@ TEST(ConcurrencyHammer, SocialGraphRegisterBefriendFeed) {
   EXPECT_EQ(g.friends_of(hub).size(), kThreads * 20);
 }
 
-class SessionConcurrencyTest : public ::testing::Test {
+class SessionConcurrencyTest : public testsupport::FanoutSessionFixture {
  protected:
-  SessionConcurrencyTest() {
-    SessionConfig cfg;
-    cfg.pairing_preset = ec::ParamPreset::kToy;
-    cfg.seed = "concurrency-tests";
-    session_ = std::make_unique<Session>(cfg);
-    sharer_ = session_->register_user("sharer");
-    for (std::size_t i = 0; i < kThreads; ++i) {
-      receivers_.push_back(session_->register_user("receiver-" + std::to_string(i)));
-      session_->befriend(sharer_, receivers_.back());
-    }
-    ctx_ = Context({{"Where did we meet?", "Paris"},
-                    {"What did we eat?", "pizza"},
-                    {"Who hosted?", "Alice"},
-                    {"Which month?", "June"}});
-    c1_post_ = session_->share_c1(sharer_, to_bytes("c1 object"), ctx_, 2, 4, net::pc_profile())
-                   .post_id;
-    c2_post_ =
-        session_->share_c2(sharer_, to_bytes("c2 object"), ctx_, 2, net::pc_profile()).post_id;
-  }
-
-  std::unique_ptr<Session> session_;
-  osn::UserId sharer_ = 0;
-  std::vector<osn::UserId> receivers_;
-  Context ctx_;
-  std::string c1_post_;
-  std::string c2_post_;
+  SessionConcurrencyTest()
+      : FanoutSessionFixture(testsupport::toy_config("concurrency-tests"), kThreads) {}
 };
 
 TEST_F(SessionConcurrencyTest, AccessParallelMixedC1C2Batch) {
@@ -230,7 +207,7 @@ TEST_F(SessionConcurrencyTest, AccessParallelMixedC1C2Batch) {
     req.device = net::pc_profile();
     batch.push_back(std::move(req));
   }
-  const auto results = session_->access_parallel(batch, kThreads);
+  const auto results = session_.access_parallel(batch, kThreads);
   ASSERT_EQ(results.size(), batch.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_TRUE(results[i].granted) << "request " << i;
@@ -246,7 +223,7 @@ TEST_F(SessionConcurrencyTest, AccessParallelPropagatesRequestErrors) {
   batch[0] = {receivers_[0], c1_post_, Knowledge::full(ctx_), net::pc_profile()};
   batch[1] = {receivers_[1], "puzzle-does-not-exist", Knowledge::full(ctx_), net::pc_profile()};
   batch[2] = {receivers_[2], c1_post_, Knowledge::full(ctx_), net::pc_profile()};
-  EXPECT_THROW((void)session_->access_parallel(batch, 2), std::out_of_range);
+  EXPECT_THROW((void)session_.access_parallel(batch, 2), std::out_of_range);
 }
 
 TEST_F(SessionConcurrencyTest, ConcurrentAccessSharingAndRefresh) {
@@ -263,15 +240,15 @@ TEST_F(SessionConcurrencyTest, ConcurrentAccessSharingAndRefresh) {
       for (int i = 0; i < 6; ++i) {
         if (t == 0 && i == 3) {
           // One refresh mid-run: new M_O, new K_Z, new URL, same post id.
-          session_->refresh(sharer_, c1_post_, to_bytes("c1 object v2"), ctx_,
+          session_.refresh(sharer_, c1_post_, to_bytes("c1 object v2"), ctx_,
                             net::pc_profile());
           continue;
         }
         if (t == 1) {
-          session_->share_c1(sharer_, to_bytes("extra"), ctx_, 2, 4, net::pc_profile());
+          session_.share_c1(sharer_, to_bytes("extra"), ctx_, 2, 4, net::pc_profile());
         }
         const std::string& post = (i % 2 == 0) ? c1_post_ : c2_post_;
-        const auto result = session_->access_with_retries(receivers_[t], post, knows,
+        const auto result = session_.access_with_retries(receivers_[t], post, knows,
                                                           net::pc_profile(), 4);
         if (!result.success()) {
           denied.fetch_add(1);
@@ -287,7 +264,7 @@ TEST_F(SessionConcurrencyTest, ConcurrentAccessSharingAndRefresh) {
   // With full knowledge, C1/C2 grants are deterministic: nothing is denied.
   EXPECT_EQ(denied.load(), 0);
   // After the dust settles the refreshed post serves v2.
-  const auto after = session_->access_with_retries(receivers_[0], c1_post_,
+  const auto after = session_.access_with_retries(receivers_[0], c1_post_,
                                                    Knowledge::full(ctx_), net::pc_profile());
   ASSERT_TRUE(after.success());
   EXPECT_EQ(*after.object, to_bytes("c1 object v2"));

@@ -7,15 +7,15 @@
 
 #include <gtest/gtest.h>
 
-#include <memory>
-
 #include "obs/metrics.hpp"
+#include "support/fixtures.hpp"
 
 namespace sp::core {
 namespace {
 
 using crypto::Bytes;
 using crypto::to_bytes;
+using testsupport::party_context;
 
 obs::Counter& counter(const char* name, const obs::Labels& labels = {}) {
   return obs::MetricsRegistry::global().counter(name, "", labels);
@@ -33,33 +33,15 @@ obs::Histogram& outcome_hist(const char* scheme, const char* result) {
       {{"result", result}, {"scheme", scheme}});
 }
 
-Context party_context() {
-  return Context({{"Where did we meet?", "Paris"},
-                  {"What did we eat?", "pizza"},
-                  {"Who hosted?", "Alice"},
-                  {"Which month?", "June"}});
-}
-
-class ObservabilityTest : public ::testing::Test {
+class ObservabilityTest : public testsupport::SessionFixture {
  protected:
-  ObservabilityTest() {
-    SessionConfig cfg;
-    cfg.pairing_preset = ec::ParamPreset::kToy;
-    cfg.seed = "observability-tests";
-    session_ = std::make_unique<Session>(cfg);
-    sharer_ = session_->register_user("sharer");
-    friend_ = session_->register_user("friend");
-    session_->befriend(sharer_, friend_);
-  }
-
-  std::unique_ptr<Session> session_;
-  osn::UserId sharer_ = 0, friend_ = 0;
+  ObservabilityTest() : SessionFixture(testsupport::toy_config("observability-tests")) {}
 };
 
 TEST_F(ObservabilityTest, DeniedRetriesCountAndStayOutOfSuccessSeries) {
   const Context ctx = party_context();
   const auto receipt =
-      session_->share_c1(sharer_, to_bytes("object"), ctx, /*k=*/2, /*n=*/4, net::pc_profile());
+      session_.share_c1(sharer_, to_bytes("object"), ctx, /*k=*/2, /*n=*/4, net::pc_profile());
 
   auto& denied_total = counter("sp_access_denied_total");
   auto& granted_total = counter("sp_access_granted_total");
@@ -77,7 +59,7 @@ TEST_F(ObservabilityTest, DeniedRetriesCountAndStayOutOfSuccessSeries) {
 
   // k - 1 correct answers: every draw must deny, so all 3 draws are spent.
   crypto::Drbg rng("obs-partial");
-  const auto result = session_->access_with_retries(
+  const auto result = session_.access_with_retries(
       friend_, receipt.post_id, Knowledge::partial(ctx, 1, rng), net::pc_profile(),
       /*max_draws=*/3);
   EXPECT_FALSE(result.granted);
@@ -95,7 +77,7 @@ TEST_F(ObservabilityTest, DeniedRetriesCountAndStayOutOfSuccessSeries) {
 TEST_F(ObservabilityTest, GrantedC1AccessPopulatesOutcomeAndPhaseSeries) {
   const Context ctx = party_context();
   const auto receipt =
-      session_->share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
+      session_.share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
 
   auto& granted_total = counter("sp_access_granted_total");
   auto& granted_requests = counter("sp_access_requests_total",
@@ -113,7 +95,7 @@ TEST_F(ObservabilityTest, GrantedC1AccessPopulatesOutcomeAndPhaseSeries) {
   const auto fetch0 = fetch_phase.count();
   const auto interpolate0 = interpolate_phase.count();
 
-  const auto result = session_->access_with_retries(friend_, receipt.post_id,
+  const auto result = session_.access_with_retries(friend_, receipt.post_id,
                                                     Knowledge::full(ctx), net::pc_profile());
   ASSERT_TRUE(result.success());
 
@@ -130,7 +112,7 @@ TEST_F(ObservabilityTest, GrantedC1AccessPopulatesOutcomeAndPhaseSeries) {
 TEST_F(ObservabilityTest, C2AccessPopulatesAbePhasesAndPairingHistogram) {
   const Context ctx = party_context();
   const auto receipt =
-      session_->share_c2(sharer_, to_bytes("object"), ctx, 2, net::pc_profile());
+      session_.share_c2(sharer_, to_bytes("object"), ctx, 2, net::pc_profile());
 
   auto& upload_phase = phase_hist("c2.upload");
   auto& keygen_phase = phase_hist("c2.keygen");
@@ -144,7 +126,7 @@ TEST_F(ObservabilityTest, C2AccessPopulatesAbePhasesAndPairingHistogram) {
   const auto pairing0 = pairing_hist.count();
 
   const auto result =
-      session_->access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
+      session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
   ASSERT_TRUE(result.success());
 
   EXPECT_EQ(keygen_phase.count(), keygen0 + 1);
@@ -163,10 +145,10 @@ TEST_F(ObservabilityTest, ShareAndRefreshCountersIncrement) {
   const auto refreshes0 = refreshes.value();
 
   const auto receipt =
-      session_->share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
+      session_.share_c1(sharer_, to_bytes("object"), ctx, 2, 4, net::pc_profile());
   EXPECT_EQ(shares_c1.value(), shares0 + 1);
 
-  session_->refresh(sharer_, receipt.post_id, to_bytes("object v2"), ctx, net::pc_profile());
+  session_.refresh(sharer_, receipt.post_id, to_bytes("object v2"), ctx, net::pc_profile());
   EXPECT_EQ(refreshes.value(), refreshes0 + 1);
   EXPECT_EQ(shares_c1.value(), shares0 + 1);  // refresh is not a share
 }

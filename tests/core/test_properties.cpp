@@ -1,0 +1,146 @@
+// Property-based round-trip coverage: for seeded random (N, k, m) cases —
+// context size, threshold, and number of correctly known answers — access
+// must be granted iff m >= k, for Construction 1, Construction 2, and the
+// trivial all-answers baseline (where the implicit threshold is N). Small
+// shapes are swept exhaustively so the k = 1 and k = N edges are always
+// exercised; random larger shapes extend the sweep to a few hundred cases
+// per scheme.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/trivial_scheme.hpp"
+#include "support/fixtures.hpp"
+
+namespace sp::core {
+namespace {
+
+using crypto::Drbg;
+using crypto::to_bytes;
+
+/// A context with `n` distinct question/answer pairs, text varied by `mark`
+/// so no two cases share hash preimages.
+Context random_context(std::size_t n, const std::string& mark) {
+  std::vector<ContextPair> pairs;
+  pairs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    pairs.push_back({"q-" + mark + "-" + std::to_string(j), "v-" + mark + "-" + std::to_string(j)});
+  }
+  return Context(std::move(pairs));
+}
+
+/// Exhaustive small shapes first (every k and m for n <= `exhaustive_n`,
+/// covering k = 1 and k = n), then `extra` random shapes with n up to
+/// `max_n`. Each case is (n, k, m).
+std::vector<std::array<std::size_t, 3>> make_cases(std::size_t exhaustive_n, std::size_t max_n,
+                                                   std::size_t extra, Drbg& rng) {
+  std::vector<std::array<std::size_t, 3>> cases;
+  for (std::size_t n = 2; n <= exhaustive_n; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      for (std::size_t m = 0; m <= n; ++m) cases.push_back({n, k, m});
+    }
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const std::size_t n = 2 + rng.uniform(max_n - 1);
+    const std::size_t k = 1 + rng.uniform(n);
+    const std::size_t m = rng.uniform(n + 1);
+    cases.push_back({n, k, m});
+  }
+  return cases;
+}
+
+Knowledge knowledge_with(const Context& ctx, std::size_t correct, Drbg& rng) {
+  return correct == ctx.size() ? Knowledge::full(ctx) : Knowledge::partial(ctx, correct, rng);
+}
+
+TEST(PropertyRoundTrip, C1GrantsIffThresholdAnswersKnown) {
+  Session session(testsupport::toy_config("property-c1"));
+  const osn::UserId sharer = session.register_user("sharer");
+  const osn::UserId receiver = session.register_user("receiver");
+  session.befriend(sharer, receiver);
+
+  Drbg rng("property-c1-cases");
+  const auto cases = make_cases(/*exhaustive_n=*/4, /*max_n=*/8, /*extra=*/150, rng);
+  std::size_t index = 0;
+  for (const auto& [n, k, m] : cases) {
+    const std::string mark = "c1-" + std::to_string(index++);
+    const Context ctx = random_context(n, mark);
+    const Bytes object = to_bytes("object-" + mark);
+    const auto receipt = session.share_c1(sharer, object, ctx, k, n, net::pc_profile());
+    const Knowledge knows = knowledge_with(ctx, m, rng);
+    // DisplayPuzzle draws a random question subset, so a receiver who knows
+    // enough answers overall can still draw an uncovered challenge; a large
+    // draw budget makes the m >= k direction effectively deterministic
+    // (every full-size draw grants, and draws are seeded).
+    const auto result = session.access_with_retries(receiver, receipt.post_id, knows,
+                                                    net::pc_profile(),
+                                                    /*max_draws=*/m >= k ? 300 : 4);
+    if (m >= k) {
+      ASSERT_TRUE(result.success()) << "n=" << n << " k=" << k << " m=" << m;
+      EXPECT_EQ(*result.object, object);
+    } else {
+      EXPECT_FALSE(result.granted) << "n=" << n << " k=" << k << " m=" << m;
+      EXPECT_FALSE(result.object.has_value());
+      EXPECT_FALSE(result.error.has_value());  // a clean denial, not a fault
+    }
+  }
+}
+
+TEST(PropertyRoundTrip, C2GrantsIffThresholdAnswersKnown) {
+  Session session(testsupport::toy_config("property-c2"));
+  const osn::UserId sharer = session.register_user("sharer");
+  const osn::UserId receiver = session.register_user("receiver");
+  session.befriend(sharer, receiver);
+
+  Drbg rng("property-c2-cases");
+  const auto cases = make_cases(/*exhaustive_n=*/4, /*max_n=*/7, /*extra=*/60, rng);
+  std::size_t index = 0;
+  for (const auto& [n, k, m] : cases) {
+    const std::string mark = "c2-" + std::to_string(index++);
+    const Context ctx = random_context(n, mark);
+    const Bytes object = to_bytes("object-" + mark);
+    const auto receipt = session.share_c2(sharer, object, ctx, k, net::pc_profile());
+    const Knowledge knows = knowledge_with(ctx, m, rng);
+    // C2 displays every question, so one access decides.
+    const auto result = session.access(receiver, receipt.post_id, knows, net::pc_profile());
+    if (m >= k) {
+      ASSERT_TRUE(result.success()) << "n=" << n << " k=" << k << " m=" << m;
+      EXPECT_EQ(*result.object, object);
+    } else {
+      EXPECT_FALSE(result.success()) << "n=" << n << " k=" << k << " m=" << m;
+      EXPECT_FALSE(result.object.has_value());
+      EXPECT_FALSE(result.error.has_value());
+    }
+  }
+}
+
+TEST(PropertyRoundTrip, TrivialSchemeGrantsIffEveryAnswerKnown) {
+  // The §I baseline has no threshold parameter: it is the k = N edge by
+  // construction, so the property collapses to m == N.
+  Drbg rng("property-trivial-cases");
+  Drbg share_rng("property-trivial-material");
+  const auto cases = make_cases(/*exhaustive_n=*/6, /*max_n=*/10, /*extra=*/200, rng);
+  std::size_t index = 0;
+  for (const auto& [n, k, m] : cases) {
+    (void)k;  // no threshold to vary
+    const std::string mark = "triv-" + std::to_string(index++);
+    const Context ctx = random_context(n, mark);
+    const Bytes object = to_bytes("object-" + mark);
+    const auto shared = TrivialScheme::share(object, ctx, share_rng);
+    const Knowledge knows = knowledge_with(ctx, m, rng);
+    const auto got = TrivialScheme::access(shared, knows);
+    if (m >= n) {
+      ASSERT_TRUE(got.has_value()) << "n=" << n << " m=" << m;
+      EXPECT_EQ(*got, object);
+    } else {
+      EXPECT_FALSE(got.has_value()) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sp::core

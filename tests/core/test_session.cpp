@@ -7,37 +7,23 @@
 
 #include <algorithm>
 
+#include "support/fixtures.hpp"
+
 namespace sp::core {
 namespace {
 
 using crypto::Bytes;
 using crypto::to_bytes;
+using testsupport::party_context;
+using testsupport::toy_config;
 
-Context party_context() {
-  return Context({{"Where did we meet?", "Paris"},
-                  {"What did we eat?", "pizza"},
-                  {"Who hosted?", "Alice"},
-                  {"Which month?", "June"}});
-}
-
-SessionConfig toy_config(const std::string& seed) {
-  SessionConfig cfg;
-  cfg.pairing_preset = ec::ParamPreset::kToy;
-  cfg.seed = seed;
-  return cfg;
-}
-
-class SessionTest : public ::testing::Test {
+class SessionTest : public testsupport::SessionFixture {
  protected:
-  SessionTest() : session_(toy_config("session-tests")) {
-    sharer_ = session_.register_user("sharer");
-    friend_ = session_.register_user("friend");
+  SessionTest() : SessionFixture(toy_config("session-tests")) {
     stranger_ = session_.register_user("stranger");
-    session_.befriend(sharer_, friend_);
   }
 
-  Session session_;
-  osn::UserId sharer_ = 0, friend_ = 0, stranger_ = 0;
+  osn::UserId stranger_ = 0;
 };
 
 TEST_F(SessionTest, C1ShareAndAccessByKnowledgeableFriend) {

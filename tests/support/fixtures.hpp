@@ -1,0 +1,92 @@
+// Shared session/user/puzzle boilerplate for the integration suites
+// (test_session, test_concurrency, test_observability, test_chaos). Every
+// fixture builds a toy-preset Session so crypto stays fast; callers pick the
+// seed, so suites keep the exact DRBG streams they had before the fixtures
+// were factored out.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace sp::testsupport {
+
+/// The running example context: four question/answer pairs about a party.
+inline core::Context party_context() {
+  return core::Context({{"Where did we meet?", "Paris"},
+                        {"What did we eat?", "pizza"},
+                        {"Who hosted?", "Alice"},
+                        {"Which month?", "June"}});
+}
+
+/// Toy pairing preset + caller-chosen seed: the standard test session.
+inline core::SessionConfig toy_config(const std::string& session_seed) {
+  core::SessionConfig cfg;
+  cfg.pairing_preset = ec::ParamPreset::kToy;
+  cfg.seed = session_seed;
+  return cfg;
+}
+
+/// One session with a sharer and one befriended receiver ("friend") — the
+/// two-party setup most integration tests start from. Subclasses register
+/// extra users in their own constructors (registration order determines user
+/// ids, so append, don't prepend).
+class SessionFixture : public ::testing::Test {
+ protected:
+  explicit SessionFixture(core::SessionConfig cfg)
+      : session_(std::move(cfg)),
+        sharer_(session_.register_user("sharer")),
+        friend_(session_.register_user("friend")) {
+    session_.befriend(sharer_, friend_);
+  }
+
+  core::Session session_;
+  osn::UserId sharer_ = 0;
+  osn::UserId friend_ = 0;
+};
+
+/// One sharer fanning out to `n_receivers` befriended receivers, with one C1
+/// and one C2 post already shared — the setup the concurrency and chaos
+/// hammers drive. Receiver i is meant to be driven by thread i: the fault
+/// layer's determinism contract needs each (receiver, post) request series
+/// issued from one thread in program order.
+///
+/// A plain struct (not a ::testing::Test) so replay tests can build two
+/// same-config rigs inside one TEST body; FanoutSessionFixture below wraps
+/// it for ordinary TEST_F suites.
+struct FanoutRig {
+  FanoutRig(core::SessionConfig cfg, std::size_t n_receivers)
+      : session_(std::move(cfg)), sharer_(session_.register_user("sharer")) {
+    for (std::size_t i = 0; i < n_receivers; ++i) {
+      receivers_.push_back(session_.register_user("receiver-" + std::to_string(i)));
+      session_.befriend(sharer_, receivers_.back());
+    }
+    ctx_ = party_context();
+    c1_post_ = session_
+                   .share_c1(sharer_, crypto::to_bytes("c1 object"), ctx_, 2, 4,
+                             net::pc_profile())
+                   .post_id;
+    c2_post_ =
+        session_.share_c2(sharer_, crypto::to_bytes("c2 object"), ctx_, 2, net::pc_profile())
+            .post_id;
+  }
+
+  core::Session session_;
+  osn::UserId sharer_ = 0;
+  std::vector<osn::UserId> receivers_;
+  core::Context ctx_;
+  std::string c1_post_;
+  std::string c2_post_;
+};
+
+class FanoutSessionFixture : public ::testing::Test, protected FanoutRig {
+ protected:
+  FanoutSessionFixture(core::SessionConfig cfg, std::size_t n_receivers)
+      : FanoutRig(std::move(cfg), n_receivers) {}
+};
+
+}  // namespace sp::testsupport
