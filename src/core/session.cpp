@@ -129,7 +129,7 @@ Session::Session(SessionConfig config)
       rng_(config_.seed + "-session") {}
 
 crypto::Drbg Session::fork_rng(const std::string& label) const {
-  const std::lock_guard<std::mutex> lock(rng_mutex_);
+  const sp::MutexLock lock(rng_mutex_);
   return rng_.fork(label);
 }
 
@@ -139,7 +139,7 @@ osn::UserId Session::register_user(const std::string& name) {
   // Emplace straight into the map (no intermediate KeyPair copy that would
   // leave an unwiped secret on the stack); keygen under the lock is fine —
   // registration is rare compared to serving.
-  const std::lock_guard<std::mutex> lock(keys_mutex_);
+  const sp::MutexLock lock(keys_mutex_);
   user_keys_.emplace(id, sig::Schnorr(curve_, curve_.hash_to_group(crypto::to_bytes("sp-schnorr-g")))
                              .keygen(key_rng));
   return id;
@@ -154,7 +154,7 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   // valid after the lookup lock drops.
   const sig::KeyPair* keys = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(keys_mutex_);
+    const sp::MutexLock lock(keys_mutex_);
     keys = &user_keys_.at(sharer);
   }
   crypto::Drbg op_rng = fork_rng("share-c1");
@@ -191,7 +191,7 @@ ShareReceipt Session::share_c1(osn::UserId sharer, std::span<const std::uint8_t>
   stored.puzzle = std::move(result.puzzle);
   stored.url = url;
   {
-    const std::unique_lock<std::shared_mutex> lock(puzzles_mutex_);
+    const sp::UniqueLock lock(puzzles_mutex_);
     puzzles_.emplace(post_id, std::move(stored));
   }
 
@@ -242,7 +242,7 @@ ShareReceipt Session::share_c2(osn::UserId sharer, std::span<const std::uint8_t>
 
   const std::string post_id = sp_.store_record(details);
   {
-    const std::unique_lock<std::shared_mutex> lock(puzzles_mutex_);
+    const sp::UniqueLock lock(puzzles_mutex_);
     puzzles_.emplace(post_id, std::move(stored));
   }
   graph_.post(osn::Post{sharer, post_id, "shared a social puzzle (ABE)", visibility});
@@ -255,7 +255,7 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
   // Single-writer path: exclusive for the whole body so concurrent accesses
   // see the old puzzle until the new one (record, blob, registry entry) is
   // complete. See DESIGN.md for the lock order.
-  const std::unique_lock<std::shared_mutex> registry_lock(puzzles_mutex_);
+  const sp::UniqueLock registry_lock(puzzles_mutex_);
   auto it = puzzles_.find(post_id);
   if (it == puzzles_.end()) throw std::out_of_range("Session::refresh: unknown post " + post_id);
   StoredPuzzle& stored = it->second;
@@ -272,7 +272,7 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
   if (stored.kind == SchemeKind::kConstruction1) {
     const sig::KeyPair* keys = nullptr;
     {
-      const std::lock_guard<std::mutex> lock(keys_mutex_);
+      const sp::MutexLock lock(keys_mutex_);
       keys = &user_keys_.at(sharer);
     }
     const std::size_t k = stored.puzzle->threshold;
@@ -334,7 +334,7 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
                              const Knowledge& knowledge, const net::DeviceProfile& device) const {
   // Shared for the whole request: many accesses proceed in parallel, while
   // refresh (exclusive) waits for in-flight requests and blocks new ones.
-  const std::shared_lock<std::shared_mutex> registry_lock(puzzles_mutex_);
+  const sp::SharedLock registry_lock(puzzles_mutex_);
   const auto it = puzzles_.find(post_id);
   if (it == puzzles_.end()) throw std::out_of_range("Session::access: unknown post " + post_id);
   const StoredPuzzle& stored = it->second;

@@ -19,8 +19,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 
 #include "core/construction1.hpp"
@@ -30,6 +28,8 @@
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
 #include "osn/storage_host.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::core {
 
@@ -178,14 +178,17 @@ class Session {
   /// Forks a per-operation child DRBG under rng_mutex_ (Drbg::fork advances
   /// the parent stream, so unsynchronized forks would race). The child is
   /// exclusively owned by the calling operation — no further locking.
-  crypto::Drbg fork_rng(const std::string& label) const;
+  crypto::Drbg fork_rng(const std::string& label) const SP_EXCLUDES(rng_mutex_);
 
+  // Both take `stored` as a reference into puzzles_, so the caller must keep
+  // the registry shared-locked for the whole call — annotated, so Clang
+  // rejects any future path that drops the lock before the access finishes.
   AccessResult access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
                          net::CostLedger& ledger, crypto::Drbg& rng,
-                         net::FaultStream* faults) const;
+                         net::FaultStream* faults) const SP_REQUIRES_SHARED(puzzles_mutex_);
   AccessResult access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
                          net::CostLedger& ledger, crypto::Drbg& rng,
-                         net::FaultStream* faults) const;
+                         net::FaultStream* faults) const SP_REQUIRES_SHARED(puzzles_mutex_);
 
   SessionConfig config_;
   ec::Curve curve_;
@@ -196,15 +199,15 @@ class Session {
   osn::StorageHost dh_;
   net::Network network_;
   std::unique_ptr<net::FaultInjector> injector_;  ///< null = fault-free session
-  mutable std::mutex rng_mutex_;
-  mutable crypto::Drbg rng_;
-  std::mutex keys_mutex_;  ///< guards user_keys_ lookups/inserts (nodes are stable)
-  std::map<osn::UserId, sig::KeyPair> user_keys_;
+  mutable sp::Mutex rng_mutex_;
+  mutable crypto::Drbg rng_ SP_GUARDED_BY(rng_mutex_);
+  sp::Mutex keys_mutex_;  ///< guards user_keys_ lookups/inserts (nodes are stable)
+  std::map<osn::UserId, sig::KeyPair> user_keys_ SP_GUARDED_BY(keys_mutex_);
   /// Readers (access*) hold this shared for the whole request so refresh
   /// can't mutate a puzzle out from under them; share_* take it exclusively
   /// only around registry insertion, refresh for its whole body.
-  mutable std::shared_mutex puzzles_mutex_;
-  std::map<std::string, StoredPuzzle> puzzles_;  ///< SP-side protocol state
+  mutable sp::SharedMutex puzzles_mutex_;
+  std::map<std::string, StoredPuzzle> puzzles_ SP_GUARDED_BY(puzzles_mutex_);  ///< SP-side protocol state
 };
 
 }  // namespace sp::core

@@ -1,6 +1,7 @@
 #include "core/thread_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -50,26 +51,38 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
+  std::vector<std::thread> to_join;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    sp::MutexLock lock(mutex_);
     stopping_ = true;
-    if (joined_) return;  // an earlier shutdown() already joined the workers
-    joined_ = true;
+    if (join_started_) {
+      // Another shutdown() owns the join. Returning here while its workers
+      // are still running would let our caller destroy state that tasks are
+      // touching, so wait until that join reports completion.
+      while (!join_done_) join_done_cv_.wait(lock);
+      return;
+    }
+    join_started_ = true;
+    to_join.swap(workers_);
   }
   // Wake workers (to drain and exit) AND submitters blocked on a full
   // queue (to fail loudly instead of waiting forever).
   queue_has_work_.notify_all();
   queue_has_space_.notify_all();
-  for (std::thread& w : workers_) w.join();
-  workers_.clear();
-  PoolMetrics::get().threads.sub(static_cast<std::int64_t>(num_threads_));
+  for (std::thread& w : to_join) w.join();
+  PoolMetrics::get().threads.sub(static_cast<std::int64_t>(to_join.size()));
+  {
+    const sp::MutexLock lock(mutex_);
+    join_done_ = true;
+  }
+  join_done_cv_.notify_all();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   PoolMetrics& metrics = PoolMetrics::get();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    queue_has_space_.wait(lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
+    sp::MutexLock lock(mutex_);
+    while (queue_.size() >= queue_capacity_ && !stopping_) queue_has_space_.wait(lock);
     if (stopping_) {
       // Pre-PR4 this silently dropped the task; a serving front-end must
       // hear about shed work, so reject loudly and count it.
@@ -85,17 +98,17 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  sp::MutexLock lock(mutex_);
+  while (pending_ != 0) all_done_.wait(lock);
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sp::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::in_flight() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sp::MutexLock lock(mutex_);
   return pending_ - queue_.size();
 }
 
@@ -104,8 +117,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_has_work_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      sp::MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping_) queue_has_work_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -119,7 +132,7 @@ void ThreadPool::worker_loop() {
     }
     metrics.in_flight.sub(1);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sp::MutexLock lock(mutex_);
       --pending_;
       if (pending_ == 0) all_done_.notify_all();
     }

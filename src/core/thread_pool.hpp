@@ -9,8 +9,14 @@
 //
 // Lifecycle: workers start in the constructor; `shutdown()` (idempotent,
 // called by the destructor) drains everything already submitted and joins
-// them. A `submit` racing or following shutdown throws std::runtime_error —
-// a serving front-end must hear about dropped work, not lose it silently.
+// them. Concurrent shutdown() calls all block until the join completes —
+// "shutdown returned" always means "no worker is running". A `submit` racing
+// or following shutdown throws std::runtime_error — a serving front-end must
+// hear about dropped work, not lose it silently.
+//
+// All queue/lifecycle state is guarded by one sp::Mutex and annotated for
+// Clang's thread-safety analysis; condition waits are explicit while-loops on
+// sp::CondVar so the analysis sees the capability held across the re-test.
 //
 // Observability: every pool reports into the process-wide MetricsRegistry —
 // queue-depth / in-flight / worker-count gauges, task + rejection counters
@@ -19,13 +25,14 @@
 // same numbers for direct harness assertions.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::core {
 
@@ -42,37 +49,40 @@ class ThreadPool {
   /// throw — wrap fallible work and capture its std::exception_ptr. Throws
   /// std::runtime_error if the pool is shutting down (including a submitter
   /// woken from a full-queue wait by shutdown) — never drops work silently.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SP_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void wait_idle();
+  void wait_idle() SP_EXCLUDES(mutex_);
 
   /// Drains submitted tasks, joins the workers, rejects future submits.
-  /// Idempotent; called by the destructor.
-  void shutdown();
+  /// Idempotent and safe to race: every caller (including the destructor)
+  /// blocks until the workers are actually joined.
+  void shutdown() SP_EXCLUDES(mutex_);
 
   // ---- introspection (each takes the pool mutex; monitoring-path) ----
   /// Tasks waiting for a worker.
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const SP_EXCLUDES(mutex_);
   /// Tasks currently executing on a worker.
-  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t in_flight() const SP_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
   [[nodiscard]] std::size_t thread_count() const { return num_threads_; }
 
  private:
-  void worker_loop();
+  void worker_loop() SP_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_has_space_;  ///< signaled when a task is popped
-  std::condition_variable queue_has_work_;   ///< signaled when a task is pushed
-  std::condition_variable all_done_;         ///< signaled when pending_ hits 0
-  std::deque<std::function<void()>> queue_;
-  std::size_t queue_capacity_;
-  std::size_t pending_ = 0;  ///< queued + currently executing
-  bool stopping_ = false;
-  bool joined_ = false;
-  std::size_t num_threads_ = 0;
-  std::vector<std::thread> workers_;
+  mutable sp::Mutex mutex_;
+  sp::CondVar queue_has_space_;  ///< signaled when a task is popped
+  sp::CondVar queue_has_work_;   ///< signaled when a task is pushed
+  sp::CondVar all_done_;         ///< signaled when pending_ hits 0
+  sp::CondVar join_done_cv_;     ///< signaled once the workers are joined
+  std::deque<std::function<void()>> queue_ SP_GUARDED_BY(mutex_);
+  std::size_t queue_capacity_;  ///< immutable after construction
+  std::size_t pending_ SP_GUARDED_BY(mutex_) = 0;  ///< queued + executing
+  bool stopping_ SP_GUARDED_BY(mutex_) = false;
+  bool join_started_ SP_GUARDED_BY(mutex_) = false;  ///< a shutdown() owns the join
+  bool join_done_ SP_GUARDED_BY(mutex_) = false;     ///< that join has completed
+  std::size_t num_threads_ = 0;  ///< immutable after construction
+  std::vector<std::thread> workers_ SP_GUARDED_BY(mutex_);
 };
 
 }  // namespace sp::core

@@ -1,11 +1,12 @@
 #include "ec/curve.hpp"
 
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "crypto/sha256.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::ec {
 
@@ -340,36 +341,41 @@ FixedBaseTable build_fixed_base(const Point& base, const BigInt& q, const Consts
 
 // Process-wide table registry. Keyed by (p, base) so tables outlive the
 // Curve/Session that built them; FIFO eviction bounds memory if a workload
-// registers many distinct bases.
+// registers many distinct bases. One magic-static instance so the guarded
+// members and their mutex share a lifetime (and the analysis can tie them
+// together via SP_GUARDED_BY).
 constexpr std::size_t kMaxFixedBaseTables = 64;
-std::mutex g_fixed_base_mutex;
-std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>>& fixed_base_map() {
-  static std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>> map;
-  return map;
-}
-std::deque<std::string>& fixed_base_fifo() {
-  static std::deque<std::string> fifo;
-  return fifo;
-}
+
+struct FixedBaseRegistry {
+  sp::Mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>> map
+      SP_GUARDED_BY(mutex);
+  std::deque<std::string> fifo SP_GUARDED_BY(mutex);
+
+  static FixedBaseRegistry& get() {
+    static FixedBaseRegistry* const instance = new FixedBaseRegistry();  // leaked on purpose
+    return *instance;
+  }
+};
 
 std::shared_ptr<const FixedBaseTable> find_fixed_base(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(g_fixed_base_mutex);
-  auto it = fixed_base_map().find(key);
-  return it == fixed_base_map().end() ? nullptr : it->second;
+  FixedBaseRegistry& reg = FixedBaseRegistry::get();
+  const sp::MutexLock lock(reg.mutex);
+  auto it = reg.map.find(key);
+  return it == reg.map.end() ? nullptr : it->second;
 }
 
 void register_fixed_base(const std::string& key, std::shared_ptr<const FixedBaseTable> table) {
-  const std::lock_guard<std::mutex> lock(g_fixed_base_mutex);
-  auto& map = fixed_base_map();
-  auto& fifo = fixed_base_fifo();
-  if (map.find(key) == map.end()) {
-    fifo.push_back(key);
-    if (fifo.size() > kMaxFixedBaseTables) {
-      map.erase(fifo.front());
-      fifo.pop_front();
+  FixedBaseRegistry& reg = FixedBaseRegistry::get();
+  const sp::MutexLock lock(reg.mutex);
+  if (reg.map.find(key) == reg.map.end()) {
+    reg.fifo.push_back(key);
+    if (reg.fifo.size() > kMaxFixedBaseTables) {
+      reg.map.erase(reg.fifo.front());
+      reg.fifo.pop_front();
     }
   }
-  map[key] = std::move(table);
+  reg.map[key] = std::move(table);
 }
 
 }  // namespace

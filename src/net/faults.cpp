@@ -208,7 +208,7 @@ FaultStream FaultInjector::stream(std::uint64_t receiver, std::string_view post_
   const std::string scope_id = std::to_string(receiver) + "\x1f" + std::string(post_id);
   std::uint64_t ordinal = 0;
   {
-    const std::lock_guard<std::mutex> lock(ordinals_mutex_);
+    const sp::MutexLock lock(ordinals_mutex_);
     ordinal = ordinals_[scope_id]++;
   }
   return FaultStream(this, stream_base(scope_id, ordinal));
@@ -218,7 +218,7 @@ FaultStream FaultInjector::stream_for_label(std::string_view label) const {
   const std::string scope_id = "label\x1f" + std::string(label);
   std::uint64_t ordinal = 0;
   {
-    const std::lock_guard<std::mutex> lock(ordinals_mutex_);
+    const sp::MutexLock lock(ordinals_mutex_);
     ordinal = ordinals_[scope_id]++;
   }
   return FaultStream(this, stream_base(scope_id, ordinal));

@@ -35,12 +35,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::net {
 
@@ -201,8 +203,9 @@ class FaultInjector {
   void record(FaultKind kind) const;
 
   FaultPlan plan_;
-  mutable std::mutex ordinals_mutex_;
-  mutable std::map<std::string, std::uint64_t> ordinals_;  ///< per-(receiver,post) request counter
+  mutable sp::Mutex ordinals_mutex_;
+  mutable std::map<std::string, std::uint64_t> ordinals_
+      SP_GUARDED_BY(ordinals_mutex_);  ///< per-(receiver,post) request counter
   mutable std::array<std::atomic<std::uint64_t>, kFaultKindCount> injected_{};
 };
 

@@ -49,7 +49,7 @@ double Network::modeled_ms(std::size_t bytes, int round_trips) const {
   // given the seed, mirroring the paper's observed instability.
   double sample = 0.0;
   {
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const sp::MutexLock lock(rng_mutex_);
     sample = rng_.uniform_real();
   }
   return base * (1.0 + link_.jitter_frac * sample);

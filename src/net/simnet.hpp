@@ -18,12 +18,13 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <type_traits>
 
 #include "crypto/drbg.hpp"
 #include "net/faults.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::net {
 
@@ -94,8 +95,8 @@ class Network {
   [[nodiscard]] double modeled_ms(std::size_t bytes, int round_trips) const;
 
   LinkProfile link_;
-  mutable std::mutex rng_mutex_;
-  mutable crypto::Drbg rng_;
+  mutable sp::Mutex rng_mutex_;
+  mutable crypto::Drbg rng_ SP_GUARDED_BY(rng_mutex_);
 };
 
 /// Accumulates the Fig. 10 decomposition for one protocol run.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <stdexcept>
 
 namespace sp::obs {
@@ -260,14 +259,14 @@ Counter& MetricsRegistry::counter(const std::string& name, const std::string& he
   }
   const std::string id = canonical_labels(labels);
   {
-    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const sp::SharedLock lock(mutex_);
     const auto fit = families_.find(name);
     if (fit != families_.end() && fit->second.kind == Kind::kCounter) {
       const auto sit = fit->second.series.find(id);
       if (sit != fit->second.series.end()) return *sit->second.counter;
     }
   }
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   Family& fam = family_for(name, help, Kind::kCounter, nullptr);
   Series& series = fam.series[id];
   if (!series.counter) {
@@ -287,14 +286,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
   }
   const std::string id = canonical_labels(labels);
   {
-    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const sp::SharedLock lock(mutex_);
     const auto fit = families_.find(name);
     if (fit != families_.end() && fit->second.kind == Kind::kGauge) {
       const auto sit = fit->second.series.find(id);
       if (sit != fit->second.series.end()) return *sit->second.gauge;
     }
   }
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   Family& fam = family_for(name, help, Kind::kGauge, nullptr);
   Series& series = fam.series[id];
   if (!series.gauge) {
@@ -314,7 +313,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
   }
   const std::string id = canonical_labels(labels);
   {
-    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const sp::SharedLock lock(mutex_);
     const auto fit = families_.find(name);
     if (fit != families_.end() && fit->second.kind == Kind::kHistogram &&
         fit->second.bounds == bounds) {
@@ -322,7 +321,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
       if (sit != fit->second.series.end()) return *sit->second.histogram;
     }
   }
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   Family& fam = family_for(name, help, Kind::kHistogram, &bounds);
   Series& series = fam.series[id];
   if (!series.histogram) {
@@ -334,7 +333,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
 }
 
 void MetricsRegistry::reset() {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   for (auto& [name, fam] : families_) {
     for (auto& [id, series] : fam.series) {
       if (series.counter) series.counter->reset();
@@ -345,14 +344,14 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, fam] : families_) total += fam.series.size();
   return total;
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   std::string out;
   for (const auto& [name, fam] : families_) {
     out += "# HELP " + name + " " + fam.help + "\n";
@@ -387,7 +386,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   std::string out = "{\n  \"enabled\": ";
   out += enabled() ? "true" : "false";
   out += ",\n  \"metrics\": [";

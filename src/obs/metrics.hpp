@@ -35,11 +35,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::obs {
 
@@ -233,11 +235,11 @@ class MetricsRegistry {
   };
 
   Family& family_for(const std::string& name, const std::string& help, Kind kind,
-                     const std::vector<double>* bounds);
+                     const std::vector<double>* bounds) SP_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_{true};
-  mutable std::shared_mutex mutex_;  ///< guards the family map, not instrument state
-  std::map<std::string, Family> families_;
+  mutable sp::SharedMutex mutex_;  ///< guards the family map, not instrument state
+  std::map<std::string, Family> families_ SP_GUARDED_BY(mutex_);
 };
 
 }  // namespace sp::obs

@@ -82,12 +82,12 @@ void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record)
 void ServiceProvider::observe(const std::string& channel, Bytes data) const {
   SpMetrics::get().observe.inc();
   SpMetrics::get().observations.add(1);
-  const std::lock_guard<std::mutex> lock(observations_mutex_);
+  const sp::MutexLock lock(observations_mutex_);
   observations_.push_back(Observation{channel, std::move(data)});
 }
 
 std::vector<ServiceProvider::Observation> ServiceProvider::observations() const {
-  const std::lock_guard<std::mutex> lock(observations_mutex_);
+  const sp::MutexLock lock(observations_mutex_);
   return observations_;
 }
 
@@ -105,7 +105,7 @@ bool ServiceProvider::view_contains(std::span<const std::uint8_t> needle) const 
     if (contains(rec, needle)) found = true;
   });
   if (found) return true;
-  const std::lock_guard<std::mutex> lock(observations_mutex_);
+  const sp::MutexLock lock(observations_mutex_);
   for (const auto& obs_entry : observations_) {
     if (contains(obs_entry.data, needle)) return true;
   }

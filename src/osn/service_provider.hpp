@@ -15,13 +15,14 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.hpp"
 #include "net/faults.hpp"
 #include "osn/sharded_store.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::osn {
 
@@ -95,8 +96,8 @@ class ServiceProvider {
 
  private:
   ShardedStore<Bytes> records_;
-  mutable std::mutex observations_mutex_;
-  mutable std::vector<Observation> observations_;
+  mutable sp::Mutex observations_mutex_;
+  mutable std::vector<Observation> observations_ SP_GUARDED_BY(observations_mutex_);
   std::atomic<std::uint64_t> next_{1};
 };
 

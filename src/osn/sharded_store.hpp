@@ -17,11 +17,13 @@
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::osn {
 
@@ -36,7 +38,7 @@ class ShardedStore {
   /// Inserts or overwrites.
   void put(const std::string& key, Value value) {
     Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     s.entries[key] = std::move(value);
   }
 
@@ -44,7 +46,7 @@ class ShardedStore {
   /// absent.
   [[nodiscard]] Value get(const std::string& key, const char* who) const {
     const Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     const auto it = s.entries.find(key);
     if (it == s.entries.end()) throw std::out_of_range(std::string(who) + ": unknown key " + key);
     return it->second;
@@ -55,7 +57,7 @@ class ShardedStore {
   /// they need a miss that doesn't unwind.
   [[nodiscard]] std::optional<Value> get_if(const std::string& key) const {
     const Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     const auto it = s.entries.find(key);
     if (it == s.entries.end()) return std::nullopt;
     return it->second;
@@ -63,7 +65,7 @@ class ShardedStore {
 
   [[nodiscard]] bool contains(const std::string& key) const {
     const Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     return s.entries.count(key) > 0;
   }
 
@@ -73,7 +75,7 @@ class ShardedStore {
   template <typename Fn>
   void mutate(const std::string& key, const char* who, Fn&& fn) {
     Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     const auto it = s.entries.find(key);
     if (it == s.entries.end()) throw std::out_of_range(std::string(who) + ": unknown key " + key);
     fn(it->second);
@@ -82,7 +84,7 @@ class ShardedStore {
   /// Erases; returns whether the key existed.
   bool erase(const std::string& key) {
     Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     return s.entries.erase(key) > 0;
   }
 
@@ -91,7 +93,7 @@ class ShardedStore {
   /// without a racy read-then-erase pair.
   [[nodiscard]] std::optional<Value> take(const std::string& key) {
     Shard& s = shard_of(key);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const sp::MutexLock lock(s.mutex);
     const auto it = s.entries.find(key);
     if (it == s.entries.end()) return std::nullopt;
     std::optional<Value> out(std::move(it->second));
@@ -102,7 +104,7 @@ class ShardedStore {
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.mutex);
+      const sp::MutexLock lock(s.mutex);
       total += s.entries.size();
     }
     return total;
@@ -114,7 +116,7 @@ class ShardedStore {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.mutex);
+      const sp::MutexLock lock(s.mutex);
       for (const auto& [key, value] : s.entries) fn(key, value);
     }
   }
@@ -123,7 +125,7 @@ class ShardedStore {
   template <typename Fn>
   void for_each_mutable(Fn&& fn) {
     for (Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.mutex);
+      const sp::MutexLock lock(s.mutex);
       for (auto& [key, value] : s.entries) fn(key, value);
     }
   }
@@ -137,8 +139,8 @@ class ShardedStore {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, Value> entries;
+    mutable sp::Mutex mutex;
+    std::map<std::string, Value> entries SP_GUARDED_BY(mutex);
   };
 
   Shard& shard_of(const std::string& key) {

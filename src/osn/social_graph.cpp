@@ -1,12 +1,11 @@
 #include "osn/social_graph.hpp"
 
-#include <mutex>
 #include <stdexcept>
 
 namespace sp::osn {
 
 UserId SocialGraph::add_user(std::string name) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   const UserId id = next_id_++;
   users_.emplace(id, UserProfile{id, std::move(name)});
   edges_[id];
@@ -18,7 +17,7 @@ void SocialGraph::require_user_unlocked(UserId u) const {
 }
 
 void SocialGraph::befriend(UserId a, UserId b) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   require_user_unlocked(a);
   require_user_unlocked(b);
   if (a == b) throw std::invalid_argument("SocialGraph: cannot befriend self");
@@ -27,7 +26,7 @@ void SocialGraph::befriend(UserId a, UserId b) {
 }
 
 void SocialGraph::follow(UserId follower, UserId followee) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   require_user_unlocked(follower);
   require_user_unlocked(followee);
   if (follower == followee) throw std::invalid_argument("SocialGraph: cannot follow self");
@@ -40,14 +39,14 @@ bool SocialGraph::is_following_unlocked(UserId follower, UserId followee) const 
 }
 
 bool SocialGraph::is_following(UserId follower, UserId followee) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(follower);
   require_user_unlocked(followee);
   return is_following_unlocked(follower, followee);
 }
 
 std::vector<UserId> SocialGraph::followers_of(UserId u) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(u);
   std::vector<UserId> out;
   for (const auto& [follower, followees] : follows_) {
@@ -62,38 +61,38 @@ bool SocialGraph::are_friends_unlocked(UserId a, UserId b) const {
 }
 
 bool SocialGraph::are_friends(UserId a, UserId b) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(a);
   require_user_unlocked(b);
   return are_friends_unlocked(a, b);
 }
 
 std::vector<UserId> SocialGraph::friends_of(UserId u) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(u);
   const auto& s = edges_.at(u);
   return std::vector<UserId>(s.begin(), s.end());
 }
 
 UserProfile SocialGraph::profile(UserId u) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(u);
   return users_.at(u);
 }
 
 std::size_t SocialGraph::user_count() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   return users_.size();
 }
 
 void SocialGraph::post(Post p) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const sp::UniqueLock lock(mutex_);
   require_user_unlocked(p.author);
   posts_.push_back(std::move(p));
 }
 
 std::vector<Post> SocialGraph::feed_for(UserId viewer) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const sp::SharedLock lock(mutex_);
   require_user_unlocked(viewer);
   std::vector<Post> out;
   for (const Post& p : posts_) {

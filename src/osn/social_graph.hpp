@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::osn {
 
@@ -76,18 +78,20 @@ class SocialGraph {
   [[nodiscard]] std::vector<Post> feed_for(UserId viewer) const;
 
  private:
-  // *_unlocked helpers assume the caller holds mutex_ (shared or exclusive);
-  // public methods never call each other, so no lock is taken twice.
-  void require_user_unlocked(UserId u) const;
-  [[nodiscard]] bool are_friends_unlocked(UserId a, UserId b) const;
-  [[nodiscard]] bool is_following_unlocked(UserId follower, UserId followee) const;
+  // *_unlocked helpers require the caller to hold mutex_ (shared is enough —
+  // they only read); public methods never call each other, so no lock is
+  // taken twice. SP_REQUIRES_SHARED makes Clang enforce the contract.
+  void require_user_unlocked(UserId u) const SP_REQUIRES_SHARED(mutex_);
+  [[nodiscard]] bool are_friends_unlocked(UserId a, UserId b) const SP_REQUIRES_SHARED(mutex_);
+  [[nodiscard]] bool is_following_unlocked(UserId follower, UserId followee) const
+      SP_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex mutex_;
-  std::map<UserId, UserProfile> users_;
-  std::map<UserId, std::set<UserId>> edges_;
-  std::map<UserId, std::set<UserId>> follows_;  ///< follower -> followees
-  std::vector<Post> posts_;
-  UserId next_id_ = 1;
+  mutable sp::SharedMutex mutex_;
+  std::map<UserId, UserProfile> users_ SP_GUARDED_BY(mutex_);
+  std::map<UserId, std::set<UserId>> edges_ SP_GUARDED_BY(mutex_);
+  std::map<UserId, std::set<UserId>> follows_ SP_GUARDED_BY(mutex_);  ///< follower -> followees
+  std::vector<Post> posts_ SP_GUARDED_BY(mutex_);
+  UserId next_id_ SP_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace sp::osn

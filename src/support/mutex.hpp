@@ -1,0 +1,148 @@
+// Annotated capability wrappers over the standard mutexes.
+//
+// sp::Mutex and sp::SharedMutex are the only lock types the rest of the tree
+// may use (sp_lint rule `raw-mutex`); they carry SP_CAPABILITY so Clang's
+// -Wthread-safety can check every access to SP_GUARDED_BY state. Locks are
+// taken through the RAII guards:
+//
+//   sp::MutexLock   lock(mu);   // exclusive hold on sp::Mutex
+//   sp::UniqueLock  lock(smu);  // exclusive hold on sp::SharedMutex
+//   sp::SharedLock  lock(smu);  // shared hold on sp::SharedMutex
+//
+// MutexLock additionally satisfies BasicLockable so sp::CondVar (a wrapped
+// std::condition_variable_any) can release/reacquire it around a wait; the
+// analysis treats the capability as continuously held across wait(), which
+// matches what the caller may assume after wait() returns.
+//
+// Bare .lock()/.unlock() calls outside src/support/ are rejected by sp_lint
+// rule `bare-lock-call`; scope the guards instead.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace sp {
+
+/// Exclusive-only capability. Same cost as std::mutex; adds compile-time
+/// checking of SP_GUARDED_BY members on Clang.
+class SP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SP_ACQUIRE() { mu_.lock(); }
+  void unlock() SP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the lock is held when it cannot prove it (used only
+  /// in tests/diagnostics; a wrong assertion is a bug, not a suppression).
+  void assert_held() const SP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer capability. Shared holds allow concurrent readers; exclusive
+/// holds are writer-only, as with std::shared_mutex.
+class SP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SP_ACQUIRE() { mu_.lock(); }
+  void unlock() SP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() SP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SP_RELEASE_SHARED() { mu_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() SP_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void assert_held() const SP_ASSERT_CAPABILITY(this) {}
+  void assert_held_shared() const SP_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Exclusive RAII guard over sp::Mutex. Also BasicLockable (lock()/unlock()
+/// re-take and drop the underlying mutex) so sp::CondVar::wait can park on
+/// it; the held_ flag keeps the destructor correct either way.
+class SP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for sp::CondVar. Only condition_variable_any calls
+  // these (from inside libstdc++, where the analysis does not look); user
+  // code scopes the guard instead of toggling it.
+  void lock() SP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() SP_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Exclusive (writer) RAII guard over sp::SharedMutex.
+class SP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(SharedMutex& mu) SP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() SP_RELEASE() { mu_.unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared (reader) RAII guard over sp::SharedMutex.
+class SP_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) SP_ACQUIRE_SHARED(mu) : mu_(mu) { mu_.lock_shared(); }
+  ~SharedLock() SP_RELEASE() { mu_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable that parks on a MutexLock. condition_variable_any's
+/// internal unlock/relock runs through MutexLock's BasicLockable surface, so
+/// no raw std::unique_lock is needed and the capability annotations survive.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Waits until notified. Callers re-test their predicate in an explicit
+  /// `while` loop — predicate lambdas would be analyzed as separate functions
+  /// and lose the capability context.
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sp

@@ -1,0 +1,90 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to `__attribute__((...))` under Clang and to nothing elsewhere,
+// so annotating a lock domain costs nothing on GCC builds while a Clang build
+// with -Wthread-safety (the SP_THREAD_SAFETY CMake knob turns it into
+// -Werror=thread-safety) proves at compile time that every access to guarded
+// state happens under the right capability. The macro set mirrors the
+// documented analysis surface: capabilities, scoped capabilities, guarded
+// members, requires/acquire/release/try-acquire clauses, lock-ordering hints,
+// and the (audited, greppable) SP_NO_THREAD_SAFETY_ANALYSIS escape.
+//
+// Convention in this tree: raw std::mutex/std::shared_mutex never appear
+// outside src/support/ (sp_lint rule `raw-mutex` enforces this); code takes
+// capabilities through sp::Mutex / sp::SharedMutex and the RAII guards in
+// support/mutex.hpp, and annotates guarded members with SP_GUARDED_BY.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on non-Clang compilers
+#endif
+
+// Type annotations -----------------------------------------------------------
+
+// Marks a class as a capability (a lock). The string names the capability
+// kind in diagnostics ("mutex", "shared_mutex").
+#define SP_CAPABILITY(x) SP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (std::lock_guard-style guards).
+#define SP_SCOPED_CAPABILITY SP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Member annotations ---------------------------------------------------------
+
+// The member may only be read/written while holding capability `x`
+// (exclusively for writes, at least shared for reads).
+#define SP_GUARDED_BY(x) SP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer member: the pointee (not the pointer itself) is guarded by `x`.
+#define SP_PT_GUARDED_BY(x) SP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Lock-ordering declarations: this capability must be acquired before/after
+// the listed ones. Violations surface as negative-capability warnings.
+#define SP_ACQUIRED_BEFORE(...) SP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define SP_ACQUIRED_AFTER(...) SP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Function annotations -------------------------------------------------------
+
+// Caller must hold the capability exclusively (REQUIRES) or at least shared
+// (REQUIRES_SHARED) for the duration of the call; the function neither
+// acquires nor releases it.
+#define SP_REQUIRES(...) SP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SP_REQUIRES_SHARED(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires/releases the capability and holds it past the call
+// boundary (lock()/unlock() members and scoped-guard constructors).
+#define SP_ACQUIRE(...) SP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SP_ACQUIRE_SHARED(...) SP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define SP_RELEASE(...) SP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SP_RELEASE_SHARED(...) SP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (scoped guards whose destructor
+// may drop an exclusive or a shared hold).
+#define SP_RELEASE_GENERIC(...) SP_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+// try_lock-style functions: acquires the capability iff the return value
+// equals the first argument.
+#define SP_TRY_ACQUIRE(...) SP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define SP_TRY_ACQUIRE_SHARED(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock prevention for non-reentrant
+// locks: public entry points that take the lock themselves).
+#define SP_EXCLUDES(...) SP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; teaches the analysis a fact
+// it cannot see (e.g. single-threaded startup).
+#define SP_ASSERT_CAPABILITY(x) SP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define SP_ASSERT_SHARED_CAPABILITY(x) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+// The function returns a reference to the given capability (accessor for a
+// member lock).
+#define SP_RETURN_CAPABILITY(x) SP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Zero uses are allowed
+// in src/core/ and src/osn/; anywhere else each use carries an inline
+// justification comment. Greppable by design.
+#define SP_NO_THREAD_SAFETY_ANALYSIS SP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

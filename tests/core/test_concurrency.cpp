@@ -121,6 +121,39 @@ TEST(ThreadPool, ShutdownWakesBlockedSubmitterToFailLoudly) {
   EXPECT_EQ(executed.load(), 2);  // accepted work ran; rejected work did not
 }
 
+TEST(ThreadPool, ConcurrentShutdownsAllBlockUntilWorkersJoin) {
+  std::atomic<int> executed{0};
+  std::atomic<bool> gate{false};
+  ThreadPool pool(2, 8);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      while (!gate.load(std::memory_order_relaxed)) std::this_thread::yield();
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Two racing shutdowns. Before the join handshake fix, the one that lost
+  // the race returned immediately while the winner was still joining — its
+  // caller could then destroy state that tasks were actively touching. Both
+  // callers must observe every accepted task completed when shutdown returns.
+  std::atomic<int> returned{0};
+  auto closer = [&] {
+    pool.shutdown();
+    EXPECT_EQ(executed.load(std::memory_order_relaxed), 4);
+    returned.fetch_add(1, std::memory_order_relaxed);
+  };
+  std::thread a(closer);
+  std::thread b(closer);
+  // With the workers gated, neither shutdown can have finished joining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(returned.load(), 0);
+  gate.store(true, std::memory_order_relaxed);
+  a.join();
+  b.join();
+  EXPECT_EQ(returned.load(), 2);
+  pool.shutdown();  // still idempotent after the concurrent pair
+  EXPECT_EQ(executed.load(), 4);
+}
+
 TEST(ConcurrencyHammer, ServiceProviderStoreRecordObserveTamper) {
   osn::ServiceProvider sp;
   constexpr int kIters = 40;

@@ -1,0 +1,204 @@
+// Tests for the annotated lock capabilities in src/support/mutex.hpp: the
+// wrappers must behave exactly like the std primitives they wrap (mutual
+// exclusion, reader sharing, writer exclusion, condition wakeups) — the
+// compile-time half of the contract (-Wthread-safety) is exercised by the
+// SP_THREAD_SAFETY CI job, the runtime half here (and under TSan).
+//
+// A few helpers below probe the try_lock/unlock surface directly — the one
+// shape the RAII guards cannot express — and carry
+// SP_NO_THREAD_SAFETY_ANALYSIS with a justification each. Escapes are banned
+// in src/core and src/osn, but tests of the lock layer itself are exactly
+// what the escape hatch is for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+struct GuardedCounter {
+  sp::Mutex mu;
+  int value SP_GUARDED_BY(mu) = 0;
+
+  void bump() {
+    const sp::MutexLock lock(mu);
+    ++value;
+  }
+  int read() {
+    const sp::MutexLock lock(mu);
+    return value;
+  }
+};
+
+TEST(Mutex, MutexLockProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIters; ++i) counter.bump();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // ++ under the lock never loses an update.
+  EXPECT_EQ(counter.read(), kThreads * kIters);
+}
+
+// Deliberate TSA escape: asserting try_lock contention leaves the helper
+// without the capability it "acquired false", which the analysis cannot
+// model across EXPECT_* plumbing.
+void expect_mutex_held_elsewhere(sp::Mutex& mu) SP_NO_THREAD_SAFETY_ANALYSIS {
+  EXPECT_FALSE(mu.try_lock());
+}
+
+// Deliberate TSA escape: acquire-then-release across two statements is the
+// raw surface under test; production code must use the RAII guards.
+void expect_mutex_free(sp::Mutex& mu) SP_NO_THREAD_SAFETY_ANALYSIS {
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Mutex, TryLockContendsWhileGuardHeldAndFreesOnScopeExit) {
+  sp::Mutex mu;
+  {
+    const sp::MutexLock lock(mu);
+    // try_lock from another thread must fail while the guard is live (the
+    // wrapper forwards to the same underlying mutex, and std::mutex makes
+    // same-thread try_lock-while-held undefined, so probe cross-thread).
+    std::thread prober([&mu] { expect_mutex_held_elsewhere(mu); });
+    prober.join();
+  }
+  // The guard's destructor released the capability.
+  std::thread prober([&mu] { expect_mutex_free(mu); });
+  prober.join();
+}
+
+// Deliberate TSA escape: probes both acquisition modes and frees the shared
+// one; the mixed result set has no RAII spelling.
+void expect_readers_share_writers_blocked(sp::SharedMutex& mu) SP_NO_THREAD_SAFETY_ANALYSIS {
+  EXPECT_TRUE(mu.try_lock_shared());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock_shared();
+}
+
+// Deliberate TSA escape: same as above for the writer-held state.
+void expect_fully_blocked(sp::SharedMutex& mu) SP_NO_THREAD_SAFETY_ANALYSIS {
+  EXPECT_FALSE(mu.try_lock_shared());
+  EXPECT_FALSE(mu.try_lock());
+}
+
+TEST(SharedMutex, SharedLockAdmitsReadersAndBlocksWriters) {
+  sp::SharedMutex mu;
+  const sp::SharedLock reader(mu);
+  std::thread prober([&mu] { expect_readers_share_writers_blocked(mu); });
+  prober.join();
+}
+
+TEST(SharedMutex, UniqueLockExcludesEveryone) {
+  sp::SharedMutex mu;
+  {
+    const sp::UniqueLock writer(mu);
+    std::thread prober([&mu] { expect_fully_blocked(mu); });
+    prober.join();
+  }
+  std::thread prober([&mu] { expect_readers_share_writers_blocked(mu); });
+  prober.join();
+}
+
+struct GuardedLog {
+  mutable sp::SharedMutex mu;
+  std::vector<int> entries SP_GUARDED_BY(mu);
+
+  void append(int v) {
+    const sp::UniqueLock lock(mu);
+    entries.push_back(v);
+  }
+  std::size_t size() const {
+    const sp::SharedLock lock(mu);
+    return entries.size();
+  }
+};
+
+TEST(SharedMutex, ConcurrentReadersAndWritersStayCoherent) {
+  GuardedLog log;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 500;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kIters; ++i) log.append(t * kIters + i);
+    });
+  }
+  // Readers poll sizes while writers append: under the reader/writer guards
+  // the size is always a valid snapshot (TSan proves the absence of races,
+  // the monotonicity check proves reads are never torn).
+  std::thread reader([&log, &stop] {
+    std::size_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t now = log.size();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kWriters) * kIters);
+}
+
+struct Mailbox {
+  sp::Mutex mu;
+  sp::CondVar cv;
+  bool ready SP_GUARDED_BY(mu) = false;
+  int payload SP_GUARDED_BY(mu) = 0;
+};
+
+TEST(CondVar, WaitReleasesTheLockAndWakesOnNotify) {
+  Mailbox box;
+  std::thread producer([&box] {
+    const sp::MutexLock lock(box.mu);
+    box.payload = 42;
+    box.ready = true;
+    box.cv.notify_one();
+  });
+  int received = 0;
+  {
+    // Explicit while-loop wait (the sp::CondVar contract): the producer may
+    // notify before the consumer first waits, and wakeups may be spurious.
+    sp::MutexLock lock(box.mu);
+    while (!box.ready) box.cv.wait(lock);
+    received = box.payload;
+  }
+  producer.join();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  Mailbox box;
+  constexpr int kWaiters = 4;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&box, &woke] {
+      sp::MutexLock lock(box.mu);
+      while (!box.ready) box.cv.wait(lock);
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    const sp::MutexLock lock(box.mu);
+    box.ready = true;
+  }
+  box.cv.notify_all();
+  for (std::thread& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Lock-discipline fixture: raw standard lock primitives and bare lock-member
+// calls are findings outside src/support/ — the annotated sp::Mutex /
+// sp::SharedMutex wrappers plus their RAII guards are the only approved
+// spelling (they carry the Clang thread-safety capabilities).
+//
+// This file is a lint fixture, never compiled — the identifiers are fake.
+
+struct Widget {
+  std::mutex mu;  // expect: raw-mutex
+  int x = 0;
+};
+
+void raw_guard(Widget& w) {
+  const std::lock_guard<std::mutex> guard(w.mu);  // expect: raw-mutex
+  w.x++;
+}
+
+void raw_shared() {
+  std::shared_mutex smu;  // expect: raw-mutex
+  std::shared_lock<std::shared_mutex> guard(smu);  // expect: raw-mutex
+}
+
+void raw_condvar() {
+  std::condition_variable cv;  // expect: raw-mutex
+  cv.notify_all();
+}
+
+void raw_scoped(Widget& a, Widget& b) {
+  std::scoped_lock guard(a.mu, b.mu);  // expect: raw-mutex
+}
+
+void bare_calls(sp::Mutex& mu) {
+  mu.lock();    // expect: bare-lock-call
+  mu.unlock();  // expect: bare-lock-call
+  if (mu.try_lock()) {  // expect: bare-lock-call
+    mu.unlock();  // expect: bare-lock-call
+  }
+}
+
+void bare_shared_calls(sp::SharedMutex& smu) {
+  smu.lock_shared();    // expect: bare-lock-call
+  smu.unlock_shared();  // expect: bare-lock-call
+}
+
+// Negative: the RAII guards are the approved way to take a capability.
+void guarded(sp::Mutex& mu, sp::SharedMutex& smu) {
+  const sp::MutexLock guard(mu);
+  const sp::SharedLock reader(smu);
+}
+
+// Negative: a longer identifier must not match the std::mutex token.
+void longer_ident(std::mutex_like& fake) {
+  fake.poke();
+}
+
+// Negative: prose and string mentions of std::mutex or .lock() stay silent.
+// A comment saying "never use std::mutex or call .lock() directly" is fine.
+const char* kAdvice = "wrap std::mutex; never call .lock() yourself";

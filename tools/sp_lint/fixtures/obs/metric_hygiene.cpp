@@ -1,0 +1,37 @@
+// Metrics-hygiene fixture: secret-bearing identifiers must never reach metric
+// names or label values, and registered names must follow the catalog
+// conventions (lowercase snake_case; counters end _total, histograms end
+// _ms or _bytes — docs/OBSERVABILITY.md).
+//
+// This file is a lint fixture, never compiled — the identifiers are fake.
+
+void register_bad_names() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sp_requests", "counter missing suffix");  // expect: metric-name
+  reg.counter("Sp_Requests_total", "bad charset");  // expect: metric-name
+  reg.histogram("sp_phase_latency", "histogram missing suffix");  // expect: metric-name
+  reg.gauge("sp-records", "dash is not snake_case");  // expect: metric-name
+}
+
+void register_multiline_bad() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.histogram(
+      "crypto_op_latency", "name on a continuation line");  // expect: metric-name
+}
+
+void register_secret_flows(const char* mac_name, const Bytes& answer_text) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter(mac_name, "non-literal name from secret data");  // expect: secret-trace
+  reg.counter("ok_requests_total", "secret in a label value",
+              {{"user", answer_text}});  // expect: secret-label
+}
+
+// Negative: literal catalog-shaped names with enum-like label values.
+void register_ok() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sp_requests_total", "Requests served");
+  reg.gauge("sp_records", "Records held");
+  reg.histogram("sp_phase_latency_ms", "Per-phase latency",
+                obs::Histogram::default_latency_bounds_ms(), {{"phase", "verify"}});
+  reg.histogram("net_payload_bytes", "Payload size", bounds(), {{"op", "store"}});
+}

@@ -1,0 +1,21 @@
+// Negative fixture: the path carries `src/support`, the one layer allowed to
+// touch the raw primitives — it is where they get wrapped into the annotated
+// sp::Mutex / sp::SharedMutex capabilities. No line here may produce a
+// finding (the selftest fails on unexpected findings).
+//
+// This file is a lint fixture, never compiled.
+
+struct Wrapper {
+  std::mutex mu;
+
+  void lock() { mu.lock(); }
+  void unlock() { mu.unlock(); }
+  bool try_lock() { return mu.try_lock(); }
+};
+
+struct SharedWrapper {
+  std::shared_mutex mu;
+
+  void lock_shared() { mu.lock_shared(); }
+  void unlock_shared() { mu.unlock_shared(); }
+};
