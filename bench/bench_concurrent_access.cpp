@@ -18,12 +18,19 @@
 // recording vs no-op (wire waits off, so pure processing is compared) and
 // reports the relative overhead; the acceptance bar is < 2%.
 //
+// The PR 7 section splits the latency series per scheme (the acceptance bar
+// for the batch-verify pipeline is on C2 access latency specifically, and a
+// 7:1 mix would bury it in the aggregate), separating measured processing
+// time from the realized wire wait so the crypto-path improvement is visible
+// next to the network floor, and adds a per-core verify-throughput step
+// (requests/s/thread at each thread count).
+//
 // Reports aggregate throughput and p50/p95/p99 latency per thread count and
-// writes the series + overhead + a full metrics snapshot to BENCH_PR4.json.
+// writes the series + overhead + a full metrics snapshot to BENCH_PR7.json.
 //
 // Usage: bench_concurrent_access [--quick] [--out PATH]
 //   --quick  test preset, fewer requests, compressed wire waits (CI smoke)
-//   --out    JSON output path (default BENCH_PR4.json)
+//   --out    JSON output path (default BENCH_PR7.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,6 +40,8 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "core/verify_queue.hpp"
+#include "crypto/sha256.hpp"
 #include "fig10_common.hpp"
 #include "obs/metrics.hpp"
 
@@ -52,7 +61,7 @@ struct BenchConfig {
   double wire_scale = 1.0;      // fraction of modeled network delay realized as wall wait
   int overhead_reps = 6;        // alternated on/off pairs in the overhead A/B
   std::size_t overhead_tile = 4;  // A/B request stream = tile x the scaling stream
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR7.json";
 };
 
 struct RunStats {
@@ -62,20 +71,35 @@ struct RunStats {
   double wall_ms = 0;
   double throughput_rps = 0;
   sp::bench::LatencySummary latency;
+  // Per-scheme split: total = processing + realized wire, proc = processing
+  // only. The C2 rows are the batch-verify pipeline's acceptance series.
+  sp::bench::LatencySummary c1_total, c1_proc;
+  sp::bench::LatencySummary c2_total, c2_proc;
 };
 
 /// One load run: `threads` workers drain the shared request stream. Request
 /// latencies land in a run-private registry histogram; the returned summary
-/// is that histogram's view.
+/// is that histogram's view. `is_c2[i]` routes request i's samples to the
+/// per-scheme histograms (empty = skip the per-scheme split).
 RunStats run_load(const Session& session, const std::vector<Session::AccessRequest>& requests,
-                  std::size_t threads, double wire_scale) {
+                  std::size_t threads, double wire_scale,
+                  const std::vector<bool>& is_c2 = {}) {
   // Fine-grained bounds (0.1 ms .. ~10 s, x1.3 steps) so interpolated p99
   // has useful resolution; the private registry keeps bench samples out of
   // the serving snapshot.
   sp::obs::MetricsRegistry run_registry;
+  const auto bounds = sp::obs::Histogram::exponential_bounds(0.1, 1.3, 45);
   sp::obs::Histogram& latency = run_registry.histogram(
       "bench_request_latency_ms", "Per-request latency (processing + realized wire wait)",
-      sp::obs::Histogram::exponential_bounds(0.1, 1.3, 45));
+      bounds);
+  sp::obs::Histogram& c1_total = run_registry.histogram(
+      "bench_c1_latency_ms", "C1 request latency (processing + wire)", bounds);
+  sp::obs::Histogram& c1_proc = run_registry.histogram(
+      "bench_c1_proc_ms", "C1 request processing time", bounds);
+  sp::obs::Histogram& c2_total = run_registry.histogram(
+      "bench_c2_latency_ms", "C2 request latency (processing + wire)", bounds);
+  sp::obs::Histogram& c2_proc = run_registry.histogram(
+      "bench_c2_proc_ms", "C2 request processing time", bounds);
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> granted{0};
@@ -102,6 +126,10 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
           std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wire_ms));
         }
         latency.observe(proc_ms + wire_ms);
+        if (!is_c2.empty()) {
+          (is_c2[i] ? c2_total : c1_total).observe(proc_ms + wire_ms);
+          (is_c2[i] ? c2_proc : c1_proc).observe(proc_ms);
+        }
         if (result.success()) granted.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -118,7 +146,73 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
   stats.wall_ms = wall_ms;
   stats.throughput_rps = 1000.0 * static_cast<double>(requests.size()) / wall_ms;
   stats.latency = sp::bench::summarize(latency);
+  stats.c1_total = sp::bench::summarize(c1_total);
+  stats.c1_proc = sp::bench::summarize(c1_proc);
+  stats.c2_total = sp::bench::summarize(c2_total);
+  stats.c2_proc = sp::bench::summarize(c2_proc);
   return stats;
+}
+
+struct VerifyThroughput {
+  std::size_t threads = 0;
+  std::size_t batches = 0;
+  double wall_ms = 0;
+  double batches_per_sec = 0;
+  double per_core_rps = 0;  // batches/s divided by the request thread count
+};
+
+/// PR 7 verify-throughput step: `threads` request threads push SP-style
+/// salted-hash check batches (the Construction 1/2 verify workload) through
+/// ONE shared VerifyQueue and wait, exactly the Session topology. Reported
+/// per-core rate = completed batches/s per request thread; a flat per-core
+/// line as threads grow is the "no cross-request convoy" acceptance signal.
+VerifyThroughput run_verify_throughput(sp::core::VerifyQueue& queue, std::size_t threads,
+                                       std::size_t batches_per_thread,
+                                       std::size_t checks_per_batch) {
+  // The check itself mirrors Construction1::verify: hash(salt || answer) and
+  // compare against the stored digest.
+  const auto salt = to_bytes("verify-throughput-salt");
+  const auto answer = to_bytes("Paris");
+  auto salted = salt;
+  salted.insert(salted.end(), answer.begin(), answer.end());
+  const auto expected = sp::crypto::Sha256::hash(salted);
+
+  std::atomic<std::size_t> mismatches{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t b = 0; b < batches_per_thread; ++b) {
+        auto batch = queue.batch();
+        batch.add([&] {
+          for (std::size_t c = 0; c < checks_per_batch; ++c) {
+            auto probe = salt;
+            probe.insert(probe.end(), answer.begin(), answer.end());
+            if (sp::crypto::Sha256::hash(probe) != expected) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+        batch.wait();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr, "verify throughput: %zu hash mismatches\n", mismatches.load());
+    std::exit(1);
+  }
+  VerifyThroughput vt;
+  vt.threads = threads;
+  vt.batches = threads * batches_per_thread;
+  vt.wall_ms = wall_ms;
+  vt.batches_per_sec = 1000.0 * static_cast<double>(vt.batches) / wall_ms;
+  vt.per_core_rps = vt.batches_per_sec / static_cast<double>(threads);
+  return vt;
 }
 
 }  // namespace
@@ -172,10 +266,12 @@ int main(int argc, char** argv) {
   // Request stream: 7/8 C1, 1/8 C2 — the paper's I1 is the common path, I2
   // the heavy tail. Fully deterministic given the index.
   std::vector<Session::AccessRequest> requests(cfg.requests);
+  std::vector<bool> is_c2(cfg.requests);
   for (std::size_t i = 0; i < cfg.requests; ++i) {
     requests[i].receiver = receivers[i % receivers.size()];
-    requests[i].post_id = (i % 8 == 7) ? c2_posts[i % c2_posts.size()]
-                                       : c1_posts[i % c1_posts.size()];
+    is_c2[i] = (i % 8 == 7);
+    requests[i].post_id = is_c2[i] ? c2_posts[i % c2_posts.size()]
+                                   : c1_posts[i % c1_posts.size()];
     requests[i].knowledge = Knowledge::full(ctx);
     requests[i].device = sp::net::pc_profile();
   }
@@ -196,7 +292,7 @@ int main(int argc, char** argv) {
               "p95_ms", "p99_ms");
   std::vector<RunStats> series;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    const RunStats s = run_load(session, requests, threads, cfg.wire_scale);
+    const RunStats s = run_load(session, requests, threads, cfg.wire_scale, is_c2);
     if (s.granted != s.requests) {
       std::fprintf(stderr, "run %zu threads: only %zu/%zu granted\n", threads, s.granted,
                    s.requests);
@@ -208,6 +304,52 @@ int main(int argc, char** argv) {
   }
   const double speedup = series.back().throughput_rps / series.front().throughput_rps;
   std::printf("# aggregate throughput speedup, 8 threads vs 1: %.2fx\n", speedup);
+
+  // -- PR 7: C2-focused latency series -----------------------------------
+  // The mixed stream carries only 1/8 C2 traffic, too few samples for stable
+  // C2 percentiles; this dedicated all-C2 stream (same catalog, same
+  // session) is the acceptance series for the batch-verify pipeline. The
+  // processing column isolates the crypto path from the modeled wire floor.
+  const std::size_t c2_requests_n = std::max<std::size_t>(cfg.requests / 2, 8);
+  std::vector<Session::AccessRequest> c2_stream(c2_requests_n);
+  std::vector<bool> c2_flags(c2_requests_n, true);
+  for (std::size_t i = 0; i < c2_requests_n; ++i) {
+    c2_stream[i].receiver = receivers[i % receivers.size()];
+    c2_stream[i].post_id = c2_posts[i % c2_posts.size()];
+    c2_stream[i].knowledge = Knowledge::full(ctx);
+    c2_stream[i].device = sp::net::pc_profile();
+  }
+  std::printf("# C2-only stream: %zu requests\n", c2_requests_n);
+  std::printf("# %7s %9s %9s %9s %9s\n", "threads", "tot_p50", "tot_p95", "proc_p50",
+              "proc_p95");
+  std::vector<RunStats> c2_series;
+  for (const std::size_t threads : {1u, 8u}) {
+    const RunStats s = run_load(session, c2_stream, threads, cfg.wire_scale, c2_flags);
+    if (s.granted != s.requests) {
+      std::fprintf(stderr, "C2 run %zu threads: only %zu/%zu granted\n", threads, s.granted,
+                   s.requests);
+      return 1;
+    }
+    std::printf("  %7zu %9.1f %9.1f %9.1f %9.1f\n", s.threads, s.c2_total.p50_ms,
+                s.c2_total.p95_ms, s.c2_proc.p50_ms, s.c2_proc.p95_ms);
+    c2_series.push_back(s);
+  }
+
+  // -- PR 7: per-core verify throughput ----------------------------------
+  // The raw check-batch pipeline, decoupled from pairings and wire waits:
+  // how many request batches/s one shared VerifyQueue sustains per request
+  // thread as concurrency grows.
+  const std::size_t vt_batches = cfg.overhead_tile > 1 ? 400 : 50;
+  sp::core::VerifyQueue verify_queue;
+  std::printf("# verify throughput: %zu batches/thread, 8 checks/batch\n", vt_batches);
+  std::printf("# %7s %9s %12s %12s\n", "threads", "wall_ms", "batches_ps", "per_core_ps");
+  std::vector<VerifyThroughput> vt_series;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const VerifyThroughput vt = run_verify_throughput(verify_queue, threads, vt_batches, 8);
+    std::printf("  %7zu %9.1f %12.1f %12.1f\n", vt.threads, vt.wall_ms, vt.batches_per_sec,
+                vt.per_core_rps);
+    vt_series.push_back(vt);
+  }
 
   // -- PR 4: instrumentation overhead A/B --------------------------------
   // 8 threads, wire waits OFF: with sleeps in the loop the ~ns-scale
@@ -257,14 +399,45 @@ int main(int argc, char** argv) {
                "  \"latency_model\": \"measured processing wall time + simnet network delay "
                "realized as wall-clock wait\",\n");
   std::fprintf(out, "  \"percentile_source\": \"obs::Histogram bucket interpolation\",\n");
+  auto scheme_json = [](const sp::bench::LatencySummary& s) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"mean_ms\": %.1f, \"p50_ms\": %.1f, \"p95_ms\": %.1f}",
+                  static_cast<unsigned long long>(s.count), s.mean_ms, s.p50_ms, s.p95_ms);
+    return std::string(buf);
+  };
   std::fprintf(out, "  \"runs\": [\n");
   for (std::size_t i = 0; i < series.size(); ++i) {
     const RunStats& s = series[i];
     std::fprintf(out,
                  "    {\"threads\": %zu, \"wall_ms\": %.1f, \"throughput_rps\": %.2f, "
-                 "\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": %.1f, \"max_ms\": %.1f}%s\n",
+                 "\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": %.1f, \"max_ms\": %.1f,\n"
+                 "     \"c1_total\": %s, \"c1_proc\": %s,\n"
+                 "     \"c2_total\": %s, \"c2_proc\": %s}%s\n",
                  s.threads, s.wall_ms, s.throughput_rps, s.latency.p50_ms, s.latency.p95_ms,
-                 s.latency.p99_ms, s.latency.max_ms, i + 1 < series.size() ? "," : "");
+                 s.latency.p99_ms, s.latency.max_ms, scheme_json(s.c1_total).c_str(),
+                 scheme_json(s.c1_proc).c_str(), scheme_json(s.c2_total).c_str(),
+                 scheme_json(s.c2_proc).c_str(), i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"c2_runs\": [\n");
+  for (std::size_t i = 0; i < c2_series.size(); ++i) {
+    const RunStats& s = c2_series[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"wall_ms\": %.1f, \"throughput_rps\": %.2f,\n"
+                 "     \"total\": %s, \"proc\": %s}%s\n",
+                 s.threads, s.wall_ms, s.throughput_rps, scheme_json(s.c2_total).c_str(),
+                 scheme_json(s.c2_proc).c_str(), i + 1 < c2_series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"verify_throughput\": [\n");
+  for (std::size_t i = 0; i < vt_series.size(); ++i) {
+    const VerifyThroughput& vt = vt_series[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"batches\": %zu, \"wall_ms\": %.1f, "
+                 "\"batches_per_sec\": %.1f, \"per_core_per_sec\": %.1f}%s\n",
+                 vt.threads, vt.batches, vt.wall_ms, vt.batches_per_sec, vt.per_core_rps,
+                 i + 1 < vt_series.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"speedup_8_vs_1\": %.2f,\n", speedup);

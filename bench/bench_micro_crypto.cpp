@@ -3,6 +3,8 @@
 // curve ops, pairing).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "crypto/aes.hpp"
 #include "crypto/bigint.hpp"
 #include "crypto/drbg.hpp"
@@ -12,6 +14,8 @@
 #include "ec/pairing.hpp"
 #include "ec/params.hpp"
 #include "field/fp.hpp"
+#include "sss/lagrange.hpp"
+#include "sss/shamir.hpp"
 
 namespace {
 
@@ -172,6 +176,108 @@ void BM_TatePairing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TatePairing);
+
+// ---- PR 7: batch verification primitives -------------------------------
+
+/// N independent full pairings (N Miller loops + N final exponentiations):
+/// the pre-PR-7 cost of a k-leaf CP-ABE decrypt or a k-term verify product.
+void BM_PairingProductNaive(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  const ec::Pairing pairing(curve);
+  crypto::Drbg rng("bm-multi-pairing");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<ec::Point> ps, qs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.push_back(curve.random_group_element(rng));
+    qs.push_back(curve.random_group_element(rng));
+  }
+  for (auto _ : state) {
+    auto acc = pairing.one();
+    for (std::size_t i = 0; i < n; ++i) acc = acc * pairing(ps[i], qs[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PairingProductNaive)->Arg(2)->Arg(4)->Arg(8);
+
+/// The same product as one multi-pairing: N Miller loops sharing ONE final
+/// exponentiation, with Miller-line tables warmed for the fixed first
+/// arguments. The CI smoke step asserts this beats BM_PairingProductNaive.
+void BM_PairingProductBatched(benchmark::State& state) {
+  const ec::Curve curve(ec::preset_params(ec::ParamPreset::kFull));
+  const ec::Pairing pairing(curve);
+  crypto::Drbg rng("bm-multi-pairing");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<ec::Pairing::Term> terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    terms.push_back({curve.random_group_element(rng), curve.random_group_element(rng)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing.product(terms));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PairingProductBatched)->Arg(2)->Arg(4)->Arg(8);
+
+/// Lagrange basis at x = 0 for k fresh abscissae, per-coefficient modular
+/// inversions (the pre-PR-7 interpolate_at inner loop).
+void BM_LagrangeBasisNaive(benchmark::State& state) {
+  const auto field = field::make_fp(crypto::BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"));
+  crypto::Drbg rng("bm-lagrange");
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<field::Fp> xs;
+  for (std::size_t i = 0; i < k; ++i) xs.push_back(field::Fp::random_nonzero(field, rng));
+  const field::Fp at = field::Fp::zero(field);
+  for (auto _ : state) {
+    std::vector<field::Fp> basis;
+    basis.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      field::Fp acc = field::Fp::one(field);
+      for (std::size_t m = 0; m < k; ++m) {
+        if (m == j) continue;
+        acc = acc * (at - xs[m]) * (xs[j] - xs[m]).inv();
+      }
+      basis.push_back(acc);
+    }
+    benchmark::DoNotOptimize(basis);
+  }
+}
+BENCHMARK(BM_LagrangeBasisNaive)->Arg(4)->Arg(8)->Arg(16);
+
+/// Batched basis build: prefix/suffix numerator products + one Montgomery
+/// batch inversion for all k denominators.
+void BM_LagrangeBasisBatched(benchmark::State& state) {
+  const auto field = field::make_fp(crypto::BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"));
+  crypto::Drbg rng("bm-lagrange");
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<field::Fp> xs;
+  for (std::size_t i = 0; i < k; ++i) xs.push_back(field::Fp::random_nonzero(field, rng));
+  const field::Fp at = field::Fp::zero(field);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sss::LagrangeCache::compute(field, xs, at));
+  }
+}
+BENCHMARK(BM_LagrangeBasisBatched)->Arg(4)->Arg(8)->Arg(16);
+
+/// The warm path the serving stack actually hits: same abscissa set every
+/// call, answered from the per-Shamir cache (one map lookup + remap).
+void BM_LagrangeBasisCached(benchmark::State& state) {
+  const auto field = field::make_fp(crypto::BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"));
+  crypto::Drbg rng("bm-lagrange");
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<field::Fp> xs;
+  for (std::size_t i = 0; i < k; ++i) xs.push_back(field::Fp::random_nonzero(field, rng));
+  const field::Fp at = field::Fp::zero(field);
+  sss::LagrangeCache cache;
+  (void)cache.basis(field, xs, at);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.basis(field, xs, at));
+  }
+}
+BENCHMARK(BM_LagrangeBasisCached)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 

@@ -50,6 +50,14 @@ std::string get_str(std::span<const std::uint8_t> data, std::size_t& off) {
 
 }  // namespace
 
+namespace {
+// FIFO caps for the lazy memo caches: enough for every distinct generator
+// and attribute a serving workload revisits, bounded against key churn
+// (same policy as the fixed-base and Miller-line table registries).
+constexpr std::size_t kMaxEggCache = 8;
+constexpr std::size_t kMaxAttrCache = 256;
+}  // namespace
+
 CpAbe::CpAbe(const ec::Curve& curve) : curve_(&curve), pairing_(curve) {}
 
 BigInt CpAbe::rand_scalar(crypto::Drbg& rng) const {
@@ -57,7 +65,8 @@ BigInt CpAbe::rand_scalar(crypto::Drbg& rng) const {
   return BigInt::random_below(curve_->order() - BigInt{1}, rb) + BigInt{1};
 }
 
-const ec::Point& CpAbe::generator() const {
+ec::Point CpAbe::generator() const {
+  const sp::MutexLock lock(cache_mutex_);
   if (!generator_) {
     generator_ = curve_->hash_to_group(crypto::to_bytes("sp-cpabe-generator"));
     // g is raised to a fresh scalar in Setup, KeyGen and every Encrypt leaf;
@@ -67,22 +76,56 @@ const ec::Point& CpAbe::generator() const {
   return *generator_;
 }
 
-const Fp2& CpAbe::e_gg(const ec::Point& g) const {
-  if (!e_gg_cache_ || e_gg_cache_->first != g) {
-    e_gg_cache_.emplace(g, pairing_(g, g));
+Fp2 CpAbe::e_gg(const ec::Point& g) const {
+  const Bytes gb = curve_->serialize(g);
+  // Cache index, not key material: g is a public generator point.
+  const std::string memo_id(gb.begin(), gb.end());
+  {
+    const sp::MutexLock lock(cache_mutex_);
+    auto it = e_gg_cache_.find(memo_id);
+    if (it != e_gg_cache_.end()) return it->second;
   }
-  return e_gg_cache_->second;
+  // Pairing outside the lock: concurrent first callers may both compute it
+  // (identical values), but no serving thread ever blocks ~ms on the memo.
+  const Fp2 value = pairing_(g, g);
+  const sp::MutexLock lock(cache_mutex_);
+  if (e_gg_cache_.find(memo_id) == e_gg_cache_.end()) {
+    e_gg_fifo_.push_back(memo_id);
+    if (e_gg_fifo_.size() > kMaxEggCache) {
+      e_gg_cache_.erase(e_gg_fifo_.front());
+      e_gg_fifo_.pop_front();
+    }
+  }
+  e_gg_cache_[memo_id] = value;
+  return value;
 }
 
 ec::Point CpAbe::hash_attr(const std::string& attribute) const {
+  {
+    const sp::MutexLock lock(cache_mutex_);
+    auto it = attr_cache_.find(attribute);
+    if (it != attr_cache_.end()) return it->second;
+  }
   Bytes labeled = crypto::to_bytes("sp-cpabe-attr");
   Bytes attr = crypto::to_bytes(attribute);
   labeled.insert(labeled.end(), attr.begin(), attr.end());
-  return curve_->hash_to_group(labeled);
+  // Hash outside the lock (try-and-increment plus a cofactor-sized scalar
+  // mul); racing first callers compute the same deterministic point.
+  const ec::Point h = curve_->hash_to_group(labeled);
+  const sp::MutexLock lock(cache_mutex_);
+  if (attr_cache_.find(attribute) == attr_cache_.end()) {
+    attr_fifo_.push_back(attribute);
+    if (attr_fifo_.size() > kMaxAttrCache) {
+      attr_cache_.erase(attr_fifo_.front());
+      attr_fifo_.pop_front();
+    }
+  }
+  attr_cache_[attribute] = h;
+  return h;
 }
 
 std::pair<PublicKey, MasterKey> CpAbe::setup(crypto::Drbg& rng) const {
-  const ec::Point& g = generator();
+  const ec::Point g = generator();
   const BigInt alpha = rand_scalar(rng);
   const BigInt beta = rand_scalar(rng);
   PublicKey pk;
@@ -90,9 +133,15 @@ std::pair<PublicKey, MasterKey> CpAbe::setup(crypto::Drbg& rng) const {
   pk.h = curve_->mul(g, beta);
   pk.f = curve_->mul(g, BigInt::mod_inv(beta, curve_->order()));
   // h carries the per-share exponent in every Encrypt (C = h^s); f is the
-  // delegation base. Register both alongside g for fixed-base windowing.
+  // delegation base. Register both alongside g for fixed-base windowing,
+  // and give the long-lived params Miller-line tables so any pairing
+  // against them (e(g,g) on a fresh CpAbe instance, delegation checks)
+  // skips the Miller point arithmetic process-wide.
   curve_->precompute_fixed_base(pk.h);
   curve_->precompute_fixed_base(pk.f);
+  pairing_.precompute(g);
+  pairing_.precompute(pk.h);
+  pairing_.precompute(pk.f);
   pk.e_gg_alpha = e_gg(g).pow(alpha);
   MasterKey mk;
   mk.beta = beta;
@@ -103,7 +152,7 @@ std::pair<PublicKey, MasterKey> CpAbe::setup(crypto::Drbg& rng) const {
 PrivateKey CpAbe::keygen(const MasterKey& mk, const std::vector<std::string>& attributes,
                          crypto::Drbg& rng) const {
   if (attributes.empty()) throw std::invalid_argument("CpAbe::keygen: empty attribute set");
-  const ec::Point& g = generator();
+  const ec::Point g = generator();
   const BigInt r = rand_scalar(rng);
   PrivateKey sk;
   // D = g^((α+r)/β): g^α is in MK, so compute (g^α · g^r)^(1/β).
@@ -123,7 +172,7 @@ PrivateKey CpAbe::keygen(const MasterKey& mk, const std::vector<std::string>& at
 void CpAbe::share_secret(const AccessTree::Node& node, const BigInt& value, std::size_t& next_id,
                          Ciphertext& ct, crypto::Drbg& rng) const {
   const std::size_t my_id = next_id++;
-  const ec::Point& g = generator();
+  const ec::Point g = generator();
   if (node.is_leaf()) {
     if (node.leaf->perturbed) {
       throw std::invalid_argument("CpAbe::encrypt: policy leaf is perturbed (encrypt first, "
@@ -227,8 +276,115 @@ std::optional<Fp2> CpAbe::decrypt_node(const PrivateKey& sk, const Ciphertext& c
   return acc;
 }
 
+bool CpAbe::mark_satisfiable(const PrivateKey& sk, const Ciphertext& ct,
+                             const AccessTree::Node& node, std::size_t& next_id,
+                             std::vector<char>& sat) const {
+  const std::size_t my_id = next_id++;
+  if (sat.size() <= my_id) sat.resize(my_id + 1, 0);
+  bool ok;
+  if (node.is_leaf()) {
+    ok = !node.leaf->perturbed && sk.attrs.count(node.leaf->canonical()) != 0 &&
+         ct.leaves.count(my_id) != 0;
+  } else {
+    // Visit ALL children (the verdicts drive flatten_node's skip logic);
+    // this pass is pure map lookups, no pairings.
+    std::size_t satisfied = 0;
+    for (const auto& child : node.children) {
+      satisfied += mark_satisfiable(sk, ct, child, next_id, sat) ? 1 : 0;
+    }
+    ok = satisfied >= node.threshold;
+  }
+  sat[my_id] = ok ? 1 : 0;
+  return ok;
+}
+
+void CpAbe::flatten_node(const AccessTree::Node& node, std::size_t& next_id, const BigInt& coeff,
+                         const std::vector<char>& sat, std::vector<LeafUse>& out) const {
+  next_id++;  // my_id; callers only recurse into satisfied nodes
+  if (node.is_leaf()) {
+    out.push_back({next_id - 1, node.leaf->canonical(), coeff});
+    return;
+  }
+  // Choose the first `threshold` satisfiable children in index order —
+  // exactly the subset the reference recursion evaluates — then fold this
+  // gate's Lagrange coefficient at 0 into each chosen child's cumulative
+  // exponent. (v^a)^b = v^(ab mod q) for the order-q pairing outputs, so
+  // one pow per leaf with the collapsed exponent matches the reference's
+  // nested pows exactly.
+  std::vector<std::size_t> child_ids(node.children.size());
+  {
+    std::size_t id = next_id;
+    for (std::size_t c = 0; c < node.children.size(); ++c) {
+      child_ids[c] = id;
+      id += subtree_size(node.children[c]);
+    }
+  }
+  std::vector<std::size_t> selected;  // 0-based child positions
+  selected.reserve(node.threshold);
+  for (std::size_t c = 0; c < node.children.size() && selected.size() < node.threshold; ++c) {
+    if (sat[child_ids[c]]) selected.push_back(c);
+  }
+  const BigInt& q = curve_->order();
+  std::size_t pick = 0;
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    if (pick >= selected.size() || selected[pick] != c) {
+      next_id += subtree_size(node.children[c]);  // skipped subtree
+      continue;
+    }
+    ++pick;
+    const BigInt xi = BigInt::from_u64(c + 1);
+    BigInt num{1}, den{1};
+    for (const std::size_t other : selected) {
+      if (other == c) continue;
+      const BigInt xj = BigInt::from_u64(other + 1);
+      num = BigInt::mod_mul(num, (-xj).mod(q), q);
+      den = BigInt::mod_mul(den, (xi - xj).mod(q), q);
+    }
+    const BigInt lambda = BigInt::mod_mul(num, BigInt::mod_inv(den, q), q);
+    flatten_node(node.children[c], next_id, BigInt::mod_mul(coeff, lambda, q), sat, out);
+  }
+}
+
 std::optional<Bytes> CpAbe::decrypt_key(const PublicKey& pk, const PrivateKey& sk,
-                                        const Ciphertext& ct) const {
+                                        const Ciphertext& ct,
+                                        const ParallelRunner& runner) const {
+  (void)pk;
+  // Phase 1: pairing-free satisfiability + leaf selection with collapsed
+  // Lagrange exponents (same subset and coefficients as the reference).
+  std::vector<char> sat;
+  {
+    std::size_t next_id = 0;
+    if (!mark_satisfiable(sk, ct, ct.policy.root(), next_id, sat)) return std::nullopt;
+  }
+  std::vector<LeafUse> uses;
+  {
+    std::size_t next_id = 0;
+    flatten_node(ct.policy.root(), next_id, BigInt{1}, sat, uses);
+  }
+  // Phase 2: one multi-pairing. Ciphertext components go FIRST so the
+  // Miller-line tables key on the long-lived side (ê is symmetric on the
+  // cyclic order-q subgroup; the symmetry is part of the ec equivalence
+  // suite) and amortize across every access to the same post. The product
+  //   ∏_y ( ê(C_y, D_j)·ê(C_y', D_j')^{-1} )^(Λ_y) · ê(C, D)^{-1}
+  // equals A / e(C, D) of the reference, with ONE final exponentiation
+  // instead of 2·|leaves| + 1.
+  std::vector<ec::Pairing::Term> terms;
+  terms.reserve(uses.size() * 2 + 1);
+  for (const LeafUse& use : uses) {
+    const auto& ak = sk.attrs.at(use.attr);          // present: sat pass checked
+    const auto& leaf_ct = ct.leaves.at(use.id);      // present: sat pass checked
+    terms.push_back({leaf_ct.cy, ak.dj, false, use.coeff});
+    terms.push_back({leaf_ct.cy_prime, ak.dj_prime, true, use.coeff});
+  }
+  terms.push_back({ct.c, sk.d, true, BigInt{1}});
+  const Fp2 ratio = pairing_.product(terms, runner);
+  // M = C̃ · A / e(C, D), with A = e(g,g)^(rs) and e(C, D) = e(g,g)^(s(α+r)).
+  const Fp2 m = ct.c_tilde * ratio;
+  return crypto::Sha256::hash(m.to_bytes());
+}
+
+std::optional<Bytes> CpAbe::decrypt_key_reference(const PublicKey& pk, const PrivateKey& sk,
+                                                  const Ciphertext& ct) const {
   (void)pk;
   std::size_t next_id = 0;
   const std::optional<Fp2> a = decrypt_node(sk, ct, ct.policy.root(), next_id);

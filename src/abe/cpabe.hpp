@@ -16,12 +16,16 @@
 // the ciphertext (swap_policy), hiding answers from SP and DH.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "abe/access_tree.hpp"
 #include "ec/pairing.hpp"
 #include "ec/params.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sp::abe {
 
@@ -78,12 +82,32 @@ class CpAbe {
                                                          const AccessTree& policy,
                                                          crypto::Drbg& rng) const;
 
+  /// Optional executor for the independent per-leaf Miller loops inside
+  /// decrypt_key (sp::core's VerifyQueue builds one; empty = inline). The
+  /// alias keeps sp::abe free of core dependencies.
+  using ParallelRunner = ec::Pairing::Runner;
+
   /// Decrypt: re-derives the DEM key, or nullopt when the key's attributes
   /// do not satisfy the ciphertext policy. A policy that *structurally*
   /// matches but was built from different answers yields a wrong key (the
   /// authenticated DEM layer then rejects) — mirroring the paper's flow.
+  ///
+  /// Batched (PR 7): a pairing-free satisfiability pass picks the same
+  /// leaf subset as the BSW07 recursion, each chosen leaf's gate-path
+  /// Lagrange coefficients are collapsed into one cumulative exponent mod
+  /// q, and all leaf pairs plus e(C, D)^{-1} are folded into a single
+  /// Pairing::product() — one final exponentiation instead of 2k+1.
+  /// Byte-identical to decrypt_key_reference() (equivalence suite).
   [[nodiscard]] std::optional<Bytes> decrypt_key(const PublicKey& pk, const PrivateKey& sk,
-                                                 const Ciphertext& ct) const;
+                                                 const Ciphertext& ct,
+                                                 const ParallelRunner& runner = {}) const;
+
+  /// The original per-leaf DecryptNode recursion (two full pairings per
+  /// satisfied leaf, Lagrange pows post-exponentiation), kept as the
+  /// equivalence oracle for the batched decrypt_key().
+  [[nodiscard]] std::optional<Bytes> decrypt_key_reference(const PublicKey& pk,
+                                                           const PrivateKey& sk,
+                                                           const Ciphertext& ct) const;
 
   /// Paper §V-B Perturb/Reconstruct: replace the embedded access tree
   /// (crypto components are untouched; only the metadata tree changes).
@@ -104,26 +128,62 @@ class CpAbe {
 
  private:
   [[nodiscard]] BigInt rand_scalar(crypto::Drbg& rng) const;
+  /// H(attribute) via hash_to_group, memoized — a group hash costs a
+  /// cofactor-sized scalar multiplication, and KeyGen re-hashes the same
+  /// canonical attributes on every access request. FIFO-capped.
   [[nodiscard]] ec::Point hash_attr(const std::string& attribute) const;
   /// The fixed public generator g (hash-to-group of a domain tag), cached
   /// and registered for fixed-base scalar multiplication.
-  [[nodiscard]] const ec::Point& generator() const;
+  [[nodiscard]] ec::Point generator() const;
   /// e(g, g) for the given generator, cached — Setup and every Encrypt need
-  /// it, and the pairing is the single most expensive primitive.
-  [[nodiscard]] const Fp2& e_gg(const ec::Point& g) const;
+  /// it, and the pairing is the single most expensive primitive. FIFO-capped
+  /// (one entry per distinct generator under key churn).
+  [[nodiscard]] Fp2 e_gg(const ec::Point& g) const;
 
   /// Recursive share assignment for Encrypt.
   void share_secret(const AccessTree::Node& node, const BigInt& value, std::size_t& next_id,
                     Ciphertext& ct, crypto::Drbg& rng) const;
-  /// DecryptNode: e(g,g)^(r·q_x(0)) or nullopt.
+  /// DecryptNode: e(g,g)^(r·q_x(0)) or nullopt (reference path).
   [[nodiscard]] std::optional<Fp2> decrypt_node(const PrivateKey& sk, const Ciphertext& ct,
                                                 const AccessTree::Node& node,
                                                 std::size_t& next_id) const;
 
+  /// Pairing-free satisfiability pass: sat[id] records, per DFS node id,
+  /// whether that subtree is satisfied — the same verdict the BSW07
+  /// recursion reaches by pairing, so the batched path selects the same
+  /// leaves. Returns sat[root].
+  bool mark_satisfiable(const PrivateKey& sk, const Ciphertext& ct,
+                        const AccessTree::Node& node, std::size_t& next_id,
+                        std::vector<char>& sat) const;
+
+  /// One chosen leaf of the flattened decryption: its ciphertext
+  /// components are paired with the attribute key and raised to `coeff`,
+  /// the product of the Lagrange coefficients along its gate path (mod q).
+  struct LeafUse {
+    std::size_t id;
+    std::string attr;
+    BigInt coeff;
+  };
+  /// Collects the chosen leaves (first `threshold` satisfiable children
+  /// per gate, in index order — exactly the reference selection) with
+  /// their cumulative exponents.
+  void flatten_node(const AccessTree::Node& node, std::size_t& next_id, const BigInt& coeff,
+                    const std::vector<char>& sat, std::vector<LeafUse>& out) const;
+
   const ec::Curve* curve_;
   ec::Pairing pairing_;
-  mutable std::optional<ec::Point> generator_;               // lazily cached
-  mutable std::optional<std::pair<ec::Point, Fp2>> e_gg_cache_;  // (g, e(g,g))
+  /// One mutex for all lazy caches: CpAbe is const-shared across serving
+  /// threads (Construction 2 calls keygen/encrypt/decrypt concurrently), so
+  /// the mutable memo state below must be guarded. No lock is held across
+  /// a pairing or scalar multiplication except the one being memoized.
+  mutable sp::Mutex cache_mutex_;
+  mutable std::optional<ec::Point> generator_ SP_GUARDED_BY(cache_mutex_);
+  /// e(g,g) keyed by serialized generator; FIFO-capped (kMaxEggCache).
+  mutable std::unordered_map<std::string, Fp2> e_gg_cache_ SP_GUARDED_BY(cache_mutex_);
+  mutable std::deque<std::string> e_gg_fifo_ SP_GUARDED_BY(cache_mutex_);
+  /// H(attr) memo; FIFO-capped (kMaxAttrCache).
+  mutable std::unordered_map<std::string, ec::Point> attr_cache_ SP_GUARDED_BY(cache_mutex_);
+  mutable std::deque<std::string> attr_fifo_ SP_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace sp::abe

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/verify_queue.hpp"
 #include "crypto/modes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -138,20 +139,31 @@ Construction2::VerifyReply Construction2::verify(const abe::AccessTree& perturbe
                                                  std::size_t threshold,
                                                  const Challenge& challenge,
                                                  const Response& response,
-                                                 const std::string& url) {
+                                                 const std::string& url,
+                                                 VerifyQueue* queue) {
+  // Protocol-shape errors stay on the caller's thread (see Construction1).
   if (response.answer_hashes.size() != challenge.questions.size()) {
     throw std::invalid_argument("Construction2::verify: response/challenge length mismatch");
   }
-  const auto leaves = perturbed_tree.leaves();
   std::size_t matches = 0;
-  for (std::size_t i = 0; i < challenge.questions.size(); ++i) {
-    for (const auto& [id, leaf] : leaves) {
-      if (leaf->leaf->question == challenge.questions[i] && leaf->leaf->perturbed &&
-          crypto::ct_equal(leaf->leaf->answer, response.answer_hashes[i])) {
-        ++matches;
-        break;
+  const auto check_set = [&matches, &perturbed_tree, &challenge, &response] {
+    const auto leaves = perturbed_tree.leaves();
+    for (std::size_t i = 0; i < challenge.questions.size(); ++i) {
+      for (const auto& [id, leaf] : leaves) {
+        if (leaf->leaf->question == challenge.questions[i] && leaf->leaf->perturbed &&
+            crypto::ct_equal(leaf->leaf->answer, response.answer_hashes[i])) {
+          ++matches;
+          break;
+        }
       }
     }
+  };
+  if (queue != nullptr) {
+    VerifyQueue::Batch batch = queue->batch();
+    batch.add(check_set);
+    batch.wait();
+  } else {
+    check_set();
   }
   VerifyReply reply;
   if (matches >= threshold) {
@@ -164,8 +176,8 @@ Construction2::VerifyReply Construction2::verify(const abe::AccessTree& perturbe
 std::optional<Bytes> Construction2::access(const Bytes& ciphertext_file,
                                            const Bytes& public_key_file,
                                            const Bytes& master_key_file,
-                                           const Knowledge& knowledge,
-                                           crypto::Drbg& rng) const {
+                                           const Knowledge& knowledge, crypto::Drbg& rng,
+                                           const abe::CpAbe::ParallelRunner& runner) const {
   abe::PublicKey pk;
   abe::MasterKey mk;
   abe::Ciphertext ct;
@@ -222,7 +234,7 @@ std::optional<Bytes> Construction2::access(const Bytes& ciphertext_file,
   keygen_span.stop();
 
   obs::TraceSpan decrypt_span(phases.decrypt);
-  const auto dem_key = scheme_.decrypt_key(pk, sk, ct_hat);
+  const auto dem_key = scheme_.decrypt_key(pk, sk, ct_hat, runner);
   if (!dem_key) return std::nullopt;
   try {
     return crypto::open(*dem_key, envelope);

@@ -23,6 +23,8 @@
 
 namespace sp::core {
 
+class VerifyQueue;
+
 class Construction2 {
  public:
   explicit Construction2(const ec::Curve& curve);
@@ -72,17 +74,24 @@ class Construction2 {
 
     [[nodiscard]] std::size_t wire_size(const UploadResult& stored) const;
   };
+  /// With a VerifyQueue, the leaf-hash check set runs as one job through
+  /// the cross-request queue; null keeps the inline path, bit for bit.
   [[nodiscard]] static VerifyReply verify(const abe::AccessTree& perturbed_tree,
                                           std::size_t threshold, const Challenge& challenge,
-                                          const Response& response, const std::string& url);
+                                          const Response& response, const std::string& url,
+                                          VerifyQueue* queue = nullptr);
 
   // -------------------------------------------------------------- receiver
   /// Reconstruct + KeyGen + Decrypt. Returns the object plaintext, or
-  /// nullopt when fewer than k answers match / decryption fails.
+  /// nullopt when fewer than k answers match / decryption fails. `runner`
+  /// (optional) executes the batched decrypt's independent per-leaf Miller
+  /// loops — Session passes its VerifyQueue so concurrent requests share
+  /// one bounded pool; empty runs them inline.
   [[nodiscard]] std::optional<Bytes> access(const Bytes& ciphertext_file,
                                             const Bytes& public_key_file,
                                             const Bytes& master_key_file,
-                                            const Knowledge& knowledge, crypto::Drbg& rng) const;
+                                            const Knowledge& knowledge, crypto::Drbg& rng,
+                                            const abe::CpAbe::ParallelRunner& runner = {}) const;
 
   [[nodiscard]] const abe::CpAbe& scheme() const { return scheme_; }
 

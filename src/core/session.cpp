@@ -126,7 +126,8 @@ Session::Session(SessionConfig config)
       c2_(std::make_unique<Construction2>(curve_)),
       network_(config_.link, crypto::Drbg(config_.seed + "-net")),
       injector_(config_.faults ? std::make_unique<net::FaultInjector>(*config_.faults) : nullptr),
-      rng_(config_.seed + "-session") {}
+      rng_(config_.seed + "-session"),
+      verify_queue_(std::make_unique<VerifyQueue>()) {}
 
 crypto::Drbg Session::fork_rng(const std::string& label) const {
   const sp::MutexLock lock(rng_mutex_);
@@ -512,7 +513,7 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   // The SP's observation log gets everything the receiver sends.
   for (const Bytes& h : response.hashes) sp_.observe("c1-response-hash", h);
   obs::TraceSpan verify_span(metrics.sp_verify);
-  auto reply = Construction1::verify(puzzle, challenge, response.hashes);
+  auto reply = Construction1::verify(puzzle, challenge, response.hashes, verify_queue_.get());
   verify_span.stop();
   if (const auto err = exchange(response.wire_size() + reply.wire_size(), 1)) {
     result.error = err;
@@ -631,7 +632,7 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   }
   obs::TraceSpan verify_span(metrics.sp_verify);
   const auto reply = Construction2::verify(files.perturbed_tree, files.threshold, challenge,
-                                           response, stored.url);
+                                           response, stored.url, verify_queue_.get());
   verify_span.stop();
   if (const auto err = exchange(response.wire_size() + reply.wire_size(files), 1)) {
     result.error = err;
@@ -678,7 +679,8 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
   obs::TraceSpan access_span(metrics.c2_access, ledger);
   try {
-    result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng);
+    result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng,
+                                verify_queue_->runner());
   } catch (const std::exception&) {
     result.object = std::nullopt;  // delivered bytes too mangled to parse
   }

@@ -23,6 +23,7 @@
 
 #include "core/construction1.hpp"
 #include "core/construction2.hpp"
+#include "core/verify_queue.hpp"
 #include "net/faults.hpp"
 #include "net/simnet.hpp"
 #include "osn/service_provider.hpp"
@@ -208,6 +209,12 @@ class Session {
   /// only around registry insertion, refresh for its whole body.
   mutable sp::SharedMutex puzzles_mutex_;
   std::map<std::string, StoredPuzzle> puzzles_ SP_GUARDED_BY(puzzles_mutex_);  ///< SP-side protocol state
+  /// Cross-request verification queue (PR 7): every access request's SP
+  /// check set and CP-ABE leaf pairings run through this shared bounded
+  /// pool. Declared last so it is destroyed first — after destruction no
+  /// serving path can touch the members above, and all batches are waited
+  /// within their request, so teardown never races live jobs.
+  mutable std::unique_ptr<VerifyQueue> verify_queue_;
 };
 
 }  // namespace sp::core

@@ -213,4 +213,26 @@ Fp Fp::sqrt() const {
   return out;
 }
 
+std::vector<Fp> batch_inv(std::span<const Fp> xs) {
+  std::vector<Fp> out;
+  if (xs.empty()) return out;
+  for (const Fp& x : xs) {
+    if (x.is_zero()) throw std::domain_error("batch_inv: zero element");
+  }
+  // prefix[i] = x_0 · … · x_i; one inversion of the total, then peel the
+  // factors off back to front: x_i^{-1} = inv(x_0·…·x_i) · prefix[i-1].
+  std::vector<Fp> prefix(xs.size());
+  prefix[0] = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) prefix[i] = prefix[i - 1] * xs[i];
+  Fp inv = prefix.back().inv();
+  out.resize(xs.size());
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    out[i] = inv * prefix[i - 1];
+    inv = inv * xs[i];
+  }
+  out[0] = std::move(inv);
+  for (Fp& x : prefix) x.wipe();
+  return out;
+}
+
 }  // namespace sp::field

@@ -7,7 +7,9 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "crypto/bigint.hpp"
 #include "crypto/drbg.hpp"
@@ -117,5 +119,14 @@ class Fp {
   FpCtxPtr ctx_;
   BigInt v_;  // canonical representative in [0, p)
 };
+
+/// Montgomery batch inversion: inverts every element for the cost of ONE
+/// field inversion plus 3(n−1) multiplications (prefix products, invert the
+/// total, back-substitute) — same trick as the Jacobian batch-normalization
+/// in ec. Throws std::domain_error if any input is zero (nothing is
+/// partially inverted). The prefix-product scratch is wiped before
+/// returning, since callers feed it secret-derived values (Shamir share
+/// abscissa differences). Returns {} for empty input.
+std::vector<Fp> batch_inv(std::span<const Fp> xs);
 
 }  // namespace sp::field

@@ -7,7 +7,8 @@
 
 namespace sp::sss {
 
-Shamir::Shamir(FpCtxPtr field) : field_(std::move(field)) {
+Shamir::Shamir(FpCtxPtr field)
+    : field_(std::move(field)), lagrange_(std::make_unique<LagrangeCache>()) {
   if (!field_) throw std::invalid_argument("Shamir: null field");
 }
 
@@ -43,7 +44,7 @@ std::vector<Share> Shamir::split(const BigInt& secret, std::size_t k, std::size_
   return shares;
 }
 
-BigInt Shamir::interpolate_at(std::span<const Share> shares, const BigInt& x) const {
+void Shamir::check_shares(std::span<const Share> shares) const {
   if (shares.empty()) throw std::invalid_argument("Shamir: no shares");
   std::set<BigInt> seen;
   for (const Share& s : shares) {
@@ -51,6 +52,26 @@ BigInt Shamir::interpolate_at(std::span<const Share> shares, const BigInt& x) co
       throw std::invalid_argument("Shamir: duplicate share abscissa");
     }
   }
+}
+
+BigInt Shamir::interpolate_at(std::span<const Share> shares, const BigInt& x) const {
+  check_shares(shares);
+  const Fp target(field_, x);
+  std::vector<Fp> xs;
+  xs.reserve(shares.size());
+  for (const Share& s : shares) xs.emplace_back(field_, s.x);
+  const std::vector<Fp> basis = lagrange_->basis(field_, xs, target);
+  Fp acc = Fp::zero(field_);
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    Fp term = Fp(field_, shares[j].y) * basis[j];
+    acc = acc + term;
+    term.wipe();
+  }
+  return acc.value();
+}
+
+BigInt Shamir::interpolate_at_reference(std::span<const Share> shares, const BigInt& x) const {
+  check_shares(shares);
   const Fp target(field_, x);
   Fp acc = Fp::zero(field_);
   for (std::size_t j = 0; j < shares.size(); ++j) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <span>
+
 namespace sp::abe {
 namespace {
 
@@ -351,6 +354,117 @@ TEST_P(CpAbeThresholdSweep, ExactBoundary) {
 }
 
 INSTANTIATE_TEST_SUITE_P(K, CpAbeThresholdSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- PR 7: batched decrypt (multi-pairing) vs the reference recursion ---
+
+/// decrypt_key (satisfiability pass + flattened Lagrange exponents + one
+/// Pairing::product) must be byte-identical to decrypt_key_reference (the
+/// BSW07 DecryptNode recursion) on every policy/keyset combination,
+/// including denials.
+TEST_F(CpAbeTest, BatchedDecryptMatchesReferenceAcrossKeysets) {
+  AccessTree policy = AccessTree::puzzle_policy(sample_qa(), 2);
+  auto [pk, mk] = scheme_.setup(rng_);
+  auto [ct, dem_key] = scheme_.encrypt_key(pk, policy, rng_);
+
+  const std::vector<std::vector<std::string>> keysets = {
+      {attr("q1", "a1"), attr("q2", "a2")},                      // exactly k
+      {attr("q1", "a1"), attr("q2", "a2"), attr("q4", "a4")},    // above k
+      {attr("q2", "a2"), attr("q3", "a3"), attr("q4", "a4")},    // different subset
+      {attr("q1", "a1")},                                        // below k -> denial
+      {attr("q1", "wrong"), attr("q2", "a2")},                   // wrong answer
+  };
+  for (const auto& attrs : keysets) {
+    const PrivateKey sk = scheme_.keygen(mk, attrs, rng_);
+    const auto batched = scheme_.decrypt_key(pk, sk, ct);
+    const auto reference = scheme_.decrypt_key_reference(pk, sk, ct);
+    ASSERT_EQ(batched.has_value(), reference.has_value());
+    if (batched) {
+      EXPECT_EQ(*batched, *reference);
+      EXPECT_EQ(*batched, dem_key);
+    }
+  }
+}
+
+TEST_F(CpAbeTest, BatchedDecryptMatchesReferenceOnNestedPolicy) {
+  // Root 2-of-3 over [a, b, (2 of [c, d, e])]: multiplies Lagrange
+  // coefficients down two gate levels into the cumulative leaf exponents.
+  AccessTree::Node inner;
+  inner.threshold = 2;
+  for (const char* a : {"c", "d", "e"}) {
+    AccessTree::Node leaf;
+    leaf.leaf = LeafAttribute{"q", a, false};
+    inner.children.push_back(leaf);
+  }
+  AccessTree::Node root;
+  root.threshold = 2;
+  for (const char* a : {"a", "b"}) {
+    AccessTree::Node leaf;
+    leaf.leaf = LeafAttribute{"q", a, false};
+    root.children.push_back(leaf);
+  }
+  root.children.push_back(inner);
+  const AccessTree policy{root};
+
+  auto [pk, mk] = scheme_.setup(rng_);
+  auto [ct, dem_key] = scheme_.encrypt_key(pk, policy, rng_);
+
+  const std::vector<std::vector<std::string>> keysets = {
+      {attr("q", "a"), attr("q", "c"), attr("q", "d")},  // leaf + nested gate
+      {attr("q", "a"), attr("q", "b")},                  // two root leaves
+      {attr("q", "c"), attr("q", "d")},                  // nested alone: denial
+  };
+  for (const auto& attrs : keysets) {
+    const PrivateKey sk = scheme_.keygen(mk, attrs, rng_);
+    const auto batched = scheme_.decrypt_key(pk, sk, ct);
+    const auto reference = scheme_.decrypt_key_reference(pk, sk, ct);
+    ASSERT_EQ(batched.has_value(), reference.has_value());
+    if (batched) {
+      EXPECT_EQ(*batched, *reference);
+      EXPECT_EQ(*batched, dem_key);
+    }
+  }
+}
+
+TEST_F(CpAbeTest, BatchedDecryptWithRunnerMatchesInline) {
+  AccessTree policy = AccessTree::puzzle_policy(sample_qa(), 3);
+  auto [pk, mk] = scheme_.setup(rng_);
+  auto [ct, dem_key] = scheme_.encrypt_key(pk, policy, rng_);
+  const PrivateKey sk =
+      scheme_.keygen(mk, {attr("q1", "a1"), attr("q2", "a2"), attr("q3", "a3")}, rng_);
+  std::size_t jobs_seen = 0;
+  const CpAbe::ParallelRunner runner =
+      [&jobs_seen](std::span<const std::function<void()>> jobs) {
+        jobs_seen += jobs.size();
+        for (const auto& job : jobs) job();
+      };
+  const auto with_runner = scheme_.decrypt_key(pk, sk, ct, runner);
+  ASSERT_TRUE(with_runner.has_value());
+  EXPECT_EQ(*with_runner, dem_key);
+  // 2 pairings per satisfied leaf + e(C, D): all routed through the runner.
+  EXPECT_EQ(jobs_seen, 2u * 3u + 1u);
+}
+
+TEST_F(CpAbeTest, PerturbedLeavesExcludedFromBatchedSelection) {
+  // Reconstruct-style flow: perturb, then swap in a tree where only SOME
+  // leaves are answered — the satisfiability pass must skip perturbed
+  // leaves exactly like the reference recursion does.
+  AccessTree policy = AccessTree::puzzle_policy(sample_qa(), 2);
+  auto [pk, mk] = scheme_.setup(rng_);
+  auto [ct, dem_key] = scheme_.encrypt_key(pk, policy, rng_);
+  const AccessTree perturbed = policy.perturb();
+  // Receiver knows q1/q2: un-perturb those two leaves only.
+  const auto [tau_hat, recovered] =
+      perturbed.reconstruct({{"q1", "a1"}, {"q2", "a2"}});
+  ASSERT_EQ(recovered, 2u);
+  const Ciphertext ct_hat = CpAbe::swap_policy(ct, tau_hat);
+  const PrivateKey sk = scheme_.keygen(mk, {attr("q1", "a1"), attr("q2", "a2")}, rng_);
+  const auto batched = scheme_.decrypt_key(pk, sk, ct_hat);
+  const auto reference = scheme_.decrypt_key_reference(pk, sk, ct_hat);
+  ASSERT_TRUE(batched.has_value());
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(*batched, *reference);
+  EXPECT_EQ(*batched, dem_key);
+}
 
 }  // namespace
 }  // namespace sp::abe

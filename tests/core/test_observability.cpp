@@ -118,12 +118,15 @@ TEST_F(ObservabilityTest, C2AccessPopulatesAbePhasesAndPairingHistogram) {
   auto& keygen_phase = phase_hist("c2.keygen");
   auto& decrypt_phase = phase_hist("c2.decrypt");
   auto& access_phase = phase_hist("c2.access");
-  auto& pairing_hist = obs::MetricsRegistry::global().histogram("crypto_pairing_ms");
+  auto& multi_hist = obs::MetricsRegistry::global().histogram("crypto_multi_pairing_ms");
+  auto& pairs_total = obs::MetricsRegistry::global().counter(
+      "crypto_multi_pairing_pairs_total", "Pairs folded into multi-pairing products");
   EXPECT_GE(upload_phase.count(), 1u);  // the share above already ran
   const auto keygen0 = keygen_phase.count();
   const auto decrypt0 = decrypt_phase.count();
   const auto access0 = access_phase.count();
-  const auto pairing0 = pairing_hist.count();
+  const auto multi0 = multi_hist.count();
+  const auto pairs0 = pairs_total.value();
 
   const auto result =
       session_.access(friend_, receipt.post_id, Knowledge::full(ctx), net::pc_profile());
@@ -132,9 +135,10 @@ TEST_F(ObservabilityTest, C2AccessPopulatesAbePhasesAndPairingHistogram) {
   EXPECT_EQ(keygen_phase.count(), keygen0 + 1);
   EXPECT_EQ(decrypt_phase.count(), decrypt0 + 1);
   EXPECT_EQ(access_phase.count(), access0 + 1);
-  // Decrypt pairs once per recovered leaf attribute plus the blinding pair —
-  // at least one full pairing evaluation per C2 access.
-  EXPECT_GT(pairing_hist.count(), pairing0);
+  // Since PR 7 a decrypt is ONE multi-pairing product folding 2k+1 pairs
+  // (k satisfied leaves: num + den each, plus the blinding pair e(C, D)).
+  EXPECT_EQ(multi_hist.count(), multi0 + 1);
+  EXPECT_GE(pairs_total.value(), pairs0 + 3);
 }
 
 TEST_F(ObservabilityTest, ShareAndRefreshCountersIncrement) {

@@ -1,0 +1,121 @@
+// VerifyQueue unit semantics: batch completion, cross-batch failure
+// isolation, help-draining, and the runner() adapter. The multi-thread
+// hammers live in test_concurrency.cpp (TSan label) and the end-to-end
+// fault-isolation load in test_chaos.cpp (chaos label).
+#include "core/verify_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sp::core {
+namespace {
+
+TEST(VerifyQueue, RunsEveryJobOfABatch) {
+  VerifyQueue queue(2);
+  std::atomic<int> ran{0};
+  VerifyQueue::Batch batch = queue.batch();
+  for (int i = 0; i < 16; ++i) batch.add([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(batch.size(), 16u);
+  batch.wait();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(VerifyQueue, EmptyBatchWaitReturnsImmediately) {
+  VerifyQueue queue(1);
+  VerifyQueue::Batch batch = queue.batch();
+  batch.wait();  // nothing queued; must not hang
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+TEST(VerifyQueue, WaitRethrowsFirstJobError) {
+  VerifyQueue queue(1);
+  VerifyQueue::Batch batch = queue.batch();
+  batch.add([] { throw std::runtime_error("injected"); });
+  batch.add([] {});  // later jobs still run; first error wins
+  EXPECT_THROW(batch.wait(), std::runtime_error);
+}
+
+TEST(VerifyQueue, ThrowingJobFailsOnlyItsOwnBatch) {
+  VerifyQueue queue(1);
+  std::atomic<int> healthy_ran{0};
+  VerifyQueue::Batch bad = queue.batch();
+  VerifyQueue::Batch good = queue.batch();
+  bad.add([] { throw std::runtime_error("transient fault"); });
+  for (int i = 0; i < 8; ++i) good.add([&healthy_ran] { healthy_ran.fetch_add(1); });
+  bad.add([] { throw std::logic_error("second error, must not mask the first"); });
+  // The healthy batch completes untouched by its queue-mate's faults.
+  good.wait();
+  EXPECT_EQ(healthy_ran.load(), 8);
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+}
+
+TEST(VerifyQueue, WaiterHelpDrainsWithBusyWorkers) {
+  // One worker, parked on a slow job; the waiting thread must drain its own
+  // batch instead of queueing behind the slowpoke.
+  VerifyQueue queue(1);
+  std::atomic<bool> release{false};
+  VerifyQueue::Batch slow = queue.batch();
+  slow.add([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Make sure the WORKER owns the slow job (queue drained) before adding
+  // ours — otherwise our own wait() could help-drain the slow job and spin
+  // on a flag only released after it returns.
+  while (queue.queue_depth() != 0) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  VerifyQueue::Batch mine = queue.batch();
+  for (int i = 0; i < 4; ++i) mine.add([&ran] { ran.fetch_add(1); });
+  mine.wait();  // completes while the worker is still blocked
+  EXPECT_EQ(ran.load(), 4);
+  release.store(true);
+  slow.wait();
+}
+
+TEST(VerifyQueue, RunExecutesJobSpanAsOneBatch) {
+  VerifyQueue queue(2);
+  std::atomic<int> ran{0};
+  std::vector<VerifyQueue::Job> jobs;
+  for (int i = 0; i < 5; ++i) jobs.emplace_back([&ran] { ran.fetch_add(1); });
+  queue.run(jobs);
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(VerifyQueue, RunnerAdapterMatchesPairingRunnerShape) {
+  VerifyQueue queue(2);
+  const auto runner = queue.runner();
+  std::atomic<int> ran{0};
+  std::vector<VerifyQueue::Job> jobs;
+  for (int i = 0; i < 3; ++i) jobs.emplace_back([&ran] { ran.fetch_add(1); });
+  runner(jobs);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(VerifyQueue, QueueDepthDrainsToZero) {
+  VerifyQueue queue(2);
+  VerifyQueue::Batch batch = queue.batch();
+  for (int i = 0; i < 8; ++i) batch.add([] {});
+  batch.wait();
+  EXPECT_EQ(queue.queue_depth(), 0u);
+}
+
+TEST(VerifyQueue, MetricsRecordBatchesAndJobs) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto jobs_before =
+      reg.counter("sp_verify_jobs_total", "Verification jobs executed through the queue").value();
+  const auto batches_before =
+      reg.counter("sp_verify_batches_total", "Request batches waited on").value();
+  VerifyQueue queue(1);
+  std::vector<VerifyQueue::Job> jobs(6, [] {});
+  queue.run(jobs);
+  EXPECT_EQ(reg.counter("sp_verify_jobs_total", "").value(), jobs_before + 6);
+  EXPECT_EQ(reg.counter("sp_verify_batches_total", "").value(), batches_before + 1);
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace sp::sss {
@@ -184,6 +185,83 @@ INSTANTIATE_TEST_SUITE_P(KN, ShamirSweep,
                                            std::pair<std::size_t, std::size_t>{10, 10},
                                            std::pair<std::size_t, std::size_t>{8, 20},
                                            std::pair<std::size_t, std::size_t>{16, 16}));
+
+// ---- PR 7: cached Lagrange basis + Montgomery batch inversion ----------
+
+/// The cached/batched interpolate_at must agree with the naive
+/// per-inversion reference on every (k, n) shape, cold and warm.
+TEST_P(ShamirSweep, CachedInterpolationMatchesReference) {
+  const auto [k, n] = GetParam();
+  Drbg rng("lagrange-sweep");
+  const Shamir sss = big();
+  const BigInt secret = BigInt::from_bytes(rng.bytes(24));
+  const auto shares = sss.split(secret, k, n, rng);
+  const std::vector<Share> sub(shares.begin(), shares.begin() + k);
+  for (const BigInt& at : {BigInt{0}, BigInt{1}, BigInt{987654321}}) {
+    const BigInt cold = sss.interpolate_at(sub, at);
+    EXPECT_EQ(cold, sss.interpolate_at_reference(sub, at));
+    // Warm call takes the cache-hit path; must be byte-identical.
+    EXPECT_EQ(sss.interpolate_at(sub, at), cold);
+  }
+}
+
+TEST(Lagrange, CacheHitSurvivesShareReordering) {
+  Drbg rng("lagrange-perm");
+  const Shamir sss = big();
+  const auto shares = sss.split(BigInt{777}, 4, 4, rng);
+  const BigInt expected = sss.reconstruct(shares);
+  std::vector<Share> perm(shares.begin(), shares.end());
+  std::reverse(perm.begin(), perm.end());
+  // Same abscissa SET => same cache entry; remapped coefficients must give
+  // the same value for the permuted share order.
+  EXPECT_EQ(sss.reconstruct(perm), expected);
+  EXPECT_EQ(sss.lagrange_cache().entries(), 1u);
+}
+
+TEST(Lagrange, CacheIsFifoCapped) {
+  Drbg rng("lagrange-cap");
+  const Shamir sss = big();
+  const std::size_t cap = sss.lagrange_cache().capacity();
+  for (std::size_t i = 0; i < cap + 10; ++i) {
+    const auto shares = sss.split(BigInt::from_u64(i), 3, 3, rng);
+    (void)sss.reconstruct(shares);
+  }
+  EXPECT_EQ(sss.lagrange_cache().entries(), cap);
+}
+
+TEST(Lagrange, ComputeMatchesNaiveBasisDefinition) {
+  Drbg rng("lagrange-direct");
+  const auto field = make_fp(BigInt{251});
+  std::vector<field::Fp> xs;
+  for (const int v : {3, 17, 42, 99, 120}) xs.emplace_back(field, BigInt{v});
+  const field::Fp at(field, BigInt{7});
+  const auto basis = LagrangeCache::compute(field, xs, at);
+  ASSERT_EQ(basis.size(), xs.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    field::Fp expected = field::Fp::one(field);
+    for (std::size_t m = 0; m < xs.size(); ++m) {
+      if (m == j) continue;
+      expected = expected * (at - xs[m]) * (xs[j] - xs[m]).inv();
+    }
+    EXPECT_EQ(basis[j], expected);
+  }
+  // Partition of unity: Σ ℓ_j(at) = 1 for any at.
+  field::Fp sum = field::Fp::zero(field);
+  for (const auto& l : basis) sum = sum + l;
+  EXPECT_EQ(sum, field::Fp::one(field));
+}
+
+TEST(BatchInv, MatchesElementwiseInversionAndRejectsZero) {
+  const auto field = make_fp(BigInt{251});
+  std::vector<field::Fp> xs;
+  for (const int v : {1, 2, 3, 100, 250, 7}) xs.emplace_back(field, BigInt{v});
+  const auto invs = field::batch_inv(xs);
+  ASSERT_EQ(invs.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(invs[i], xs[i].inv());
+  EXPECT_TRUE(field::batch_inv({}).empty());
+  xs.emplace_back(field, BigInt{0});
+  EXPECT_THROW(field::batch_inv(xs), std::domain_error);
+}
 
 }  // namespace
 }  // namespace sp::sss
