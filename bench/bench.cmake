@@ -27,6 +27,7 @@ sp_add_bench(bench_acl_maintenance)
 sp_add_bench(bench_params)
 sp_add_bench(bench_concurrent_access)
 sp_add_bench(bench_fault_sweep)
+sp_add_bench(bench_storage)
 
 # Micro-benchmarks (google-benchmark).
 sp_add_gbench(bench_micro_crypto)

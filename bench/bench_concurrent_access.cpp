@@ -25,16 +25,26 @@
 // next to the network floor, and adds a per-core verify-throughput step
 // (requests/s/thread at each thread count).
 //
+// The PR 8 section A/Bs durability: two fresh sessions with identical crypto
+// config — one in-memory, one WAL-backed (fsync=batch) on a throwaway
+// directory — serve the same mixed read/write stream (every 4th operation is
+// an upload-path write) at 8 threads. Acceptance: the WAL arm's p50 within
+// 1.25x of the in-memory p50.
+//
 // Reports aggregate throughput and p50/p95/p99 latency per thread count and
-// writes the series + overhead + a full metrics snapshot to BENCH_PR7.json.
+// writes the series + overhead + the WAL A/B + a full metrics snapshot to
+// BENCH_PR7.json.
 //
 // Usage: bench_concurrent_access [--quick] [--out PATH]
 //   --quick  test preset, fewer requests, compressed wire waits (CI smoke)
 //   --out    JSON output path (default BENCH_PR7.json)
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -153,6 +163,139 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
   return stats;
 }
 
+struct Catalog {
+  std::vector<sp::osn::UserId> receivers;
+  std::vector<std::string> c1_posts;
+  std::vector<std::string> c2_posts;
+};
+
+/// The standard bench catalog: one sharer, 8 receiver friends, 6 C1 posts +
+/// 2 C2 posts of the same object. Factored out so the PR 8 durability A/B
+/// can build identical catalogs in fresh sessions.
+Catalog build_catalog(Session& session, const Context& ctx, const sp::crypto::Bytes& object) {
+  Catalog cat;
+  const auto sharer = session.register_user("sharer");
+  for (int i = 0; i < 8; ++i) {
+    cat.receivers.push_back(session.register_user("receiver-" + std::to_string(i)));
+    session.befriend(sharer, cat.receivers.back());
+  }
+  for (int i = 0; i < 6; ++i) {
+    cat.c1_posts.push_back(
+        session.share_c1(sharer, object, ctx, 2, 4, sp::net::pc_profile()).post_id);
+  }
+  for (int i = 0; i < 2; ++i) {
+    cat.c2_posts.push_back(session.share_c2(sharer, object, ctx, 2, sp::net::pc_profile()).post_id);
+  }
+  return cat;
+}
+
+/// The 7/8 C1, 1/8 C2 request stream over a catalog — the paper's I1 is the
+/// common path, I2 the heavy tail. Fully deterministic given the index.
+std::vector<Session::AccessRequest> make_request_stream(const Catalog& cat, const Context& ctx,
+                                                        std::size_t n,
+                                                        std::vector<bool>* is_c2_out) {
+  std::vector<Session::AccessRequest> requests(n);
+  std::vector<bool> is_c2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    requests[i].receiver = cat.receivers[i % cat.receivers.size()];
+    is_c2[i] = (i % 8 == 7);
+    requests[i].post_id =
+        is_c2[i] ? cat.c2_posts[i % cat.c2_posts.size()] : cat.c1_posts[i % cat.c1_posts.size()];
+    requests[i].knowledge = Knowledge::full(ctx);
+    requests[i].device = sp::net::pc_profile();
+  }
+  if (is_c2_out != nullptr) *is_c2_out = std::move(is_c2);
+  return requests;
+}
+
+struct MixedRwStats {
+  std::size_t ops = 0;
+  std::size_t writes = 0;
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  sp::bench::LatencySummary all, read, write;
+};
+
+/// PR 8 durability A/B load: the access stream with every 4th operation
+/// replaced by a write — alternating DH blob store / SP record store, the
+/// upload half of the serving mix. On a durable session store()/
+/// store_record() return only once the mutation's WAL envelope is committed
+/// per the fsync policy, so a WAL stall lands in exactly these samples.
+/// Reads realize their modeled wire wait like run_load.
+MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessRequest>& requests,
+                          std::size_t threads, double wire_scale) {
+  sp::obs::MetricsRegistry run_registry;
+  const auto bounds = sp::obs::Histogram::exponential_bounds(0.01, 1.3, 55);
+  sp::obs::Histogram& all = run_registry.histogram(
+      "bench_mixed_rw_ms", "Mixed read/write op latency", bounds);
+  sp::obs::Histogram& read = run_registry.histogram(
+      "bench_mixed_read_ms", "Access latency within the mixed stream", bounds);
+  sp::obs::Histogram& write = run_registry.histogram(
+      "bench_mixed_write_ms", "Acknowledged-durable write latency", bounds);
+  const auto payload =
+      to_bytes("ciphertext-shaped upload payload: 64 bytes of filler padding..");
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> write_ops{0};
+  std::atomic<std::size_t> failures{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests.size()) return;
+        const auto start = std::chrono::steady_clock::now();
+        if (i % 4 == 3) {
+          if ((i / 4) % 2 == 0) {
+            (void)session.storage_host().store(payload);
+          } else {
+            (void)session.service_provider().store_record(payload);
+          }
+          const double ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                  .count();
+          all.observe(ms);
+          write.observe(ms);
+          write_ops.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const auto& req = requests[i];
+          const AccessResult result =
+              session.access(req.receiver, req.post_id, req.knowledge, req.device);
+          const double proc_ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                  .count();
+          const double wire_ms = result.cost.network_ms() * wire_scale;
+          if (wire_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wire_ms));
+          }
+          all.observe(proc_ms + wire_ms);
+          read.observe(proc_ms + wire_ms);
+          if (!result.success()) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "mixed rw: %zu accesses denied\n", failures.load());
+    std::exit(1);
+  }
+  MixedRwStats s;
+  s.ops = requests.size();
+  s.writes = write_ops.load();
+  s.wall_ms = wall_ms;
+  s.ops_per_sec = 1000.0 * static_cast<double>(requests.size()) / wall_ms;
+  s.all = sp::bench::summarize(all);
+  s.read = sp::bench::summarize(read);
+  s.write = sp::bench::summarize(write);
+  return s;
+}
+
 struct VerifyThroughput {
   std::size_t threads = 0;
   std::size_t batches = 0;
@@ -241,40 +384,17 @@ int main(int argc, char** argv) {
   session_cfg.seed = "bench-pr3";
   Session session(session_cfg);
 
-  // Catalog: one sharer, 8 receiver friends, 6 C1 posts + 2 C2 posts.
-  const auto sharer = session.register_user("sharer");
-  std::vector<sp::osn::UserId> receivers;
-  for (int i = 0; i < 8; ++i) {
-    receivers.push_back(session.register_user("receiver-" + std::to_string(i)));
-    session.befriend(sharer, receivers.back());
-  }
   const Context ctx({{"Where did we meet?", "Paris"},
                      {"What did we eat?", "pizza"},
                      {"Who hosted?", "Alice"},
                      {"Which month?", "June"},
                      {"Which city hosted the afterparty?", "Lyon"}});
   const auto object = to_bytes("the shared event photo, say 100 bytes of payload padding......");
-  std::vector<std::string> c1_posts, c2_posts;
-  for (int i = 0; i < 6; ++i) {
-    c1_posts.push_back(
-        session.share_c1(sharer, object, ctx, 2, 4, sp::net::pc_profile()).post_id);
-  }
-  for (int i = 0; i < 2; ++i) {
-    c2_posts.push_back(session.share_c2(sharer, object, ctx, 2, sp::net::pc_profile()).post_id);
-  }
+  const Catalog cat = build_catalog(session, ctx, object);
 
-  // Request stream: 7/8 C1, 1/8 C2 — the paper's I1 is the common path, I2
-  // the heavy tail. Fully deterministic given the index.
-  std::vector<Session::AccessRequest> requests(cfg.requests);
-  std::vector<bool> is_c2(cfg.requests);
-  for (std::size_t i = 0; i < cfg.requests; ++i) {
-    requests[i].receiver = receivers[i % receivers.size()];
-    is_c2[i] = (i % 8 == 7);
-    requests[i].post_id = is_c2[i] ? c2_posts[i % c2_posts.size()]
-                                   : c1_posts[i % c1_posts.size()];
-    requests[i].knowledge = Knowledge::full(ctx);
-    requests[i].device = sp::net::pc_profile();
-  }
+  std::vector<bool> is_c2;
+  const std::vector<Session::AccessRequest> requests =
+      make_request_stream(cat, ctx, cfg.requests, &is_c2);
 
   // Warmup + API validation: one access_parallel batch must grant everything
   // (it also pre-faults the fixed-base tables so run 1 isn't penalized).
@@ -314,8 +434,8 @@ int main(int argc, char** argv) {
   std::vector<Session::AccessRequest> c2_stream(c2_requests_n);
   std::vector<bool> c2_flags(c2_requests_n, true);
   for (std::size_t i = 0; i < c2_requests_n; ++i) {
-    c2_stream[i].receiver = receivers[i % receivers.size()];
-    c2_stream[i].post_id = c2_posts[i % c2_posts.size()];
+    c2_stream[i].receiver = cat.receivers[i % cat.receivers.size()];
+    c2_stream[i].post_id = cat.c2_posts[i % cat.c2_posts.size()];
     c2_stream[i].knowledge = Knowledge::full(ctx);
     c2_stream[i].device = sp::net::pc_profile();
   }
@@ -379,6 +499,47 @@ int main(int argc, char** argv) {
   const double overhead_pct = 100.0 * (on_ms - off_ms) / off_ms;
   std::printf("# instrumentation overhead @8 threads (wire off, %zu reqs): on %.1f ms, off %.1f ms, %.2f%%\n",
               ab_requests.size(), on_ms, off_ms, overhead_pct);
+
+  // -- PR 8: WAL durability A/B ------------------------------------------
+  // Fresh sessions so neither arm inherits the scaling runs' warm state
+  // asymmetrically; each arm gets one unrecorded warm run over its own
+  // stream. The WAL arm keeps PersistenceConfig's default fsync=batch — the
+  // honest arm, every write acknowledged only after its group commit.
+  namespace fs = std::filesystem;
+  const fs::path wal_dir =
+      fs::temp_directory_path() / ("sp-bench-walab-" + std::to_string(::getpid()));
+  const std::size_t mixed_n = cfg.requests * 2;
+  MixedRwStats mem_rw, wal_rw;
+  {
+    SessionConfig mem_cfg = session_cfg;
+    mem_cfg.seed = "bench-pr8-mem";
+    Session mem_session(mem_cfg);
+    const Catalog mem_cat = build_catalog(mem_session, ctx, object);
+    const auto stream = make_request_stream(mem_cat, ctx, mixed_n, nullptr);
+    run_mixed_rw(mem_session, stream, 8, cfg.wire_scale);  // warm
+    mem_rw = run_mixed_rw(mem_session, stream, 8, cfg.wire_scale);
+  }
+  {
+    SessionConfig wal_cfg = session_cfg;
+    wal_cfg.seed = "bench-pr8-wal";
+    sp::core::PersistenceConfig persist;
+    persist.dir = wal_dir.string();
+    wal_cfg.persistence = persist;
+    Session wal_session(wal_cfg);
+    const Catalog wal_cat = build_catalog(wal_session, ctx, object);
+    const auto stream = make_request_stream(wal_cat, ctx, mixed_n, nullptr);
+    run_mixed_rw(wal_session, stream, 8, cfg.wire_scale);  // warm
+    wal_rw = run_mixed_rw(wal_session, stream, 8, cfg.wire_scale);
+  }
+  std::error_code wal_ec;
+  fs::remove_all(wal_dir, wal_ec);
+  const double wal_p50_ratio = wal_rw.all.p50_ms / mem_rw.all.p50_ms;
+  std::printf(
+      "# WAL durability A/B @8 threads (1/4 writes, fsync=batch): mem p50 %.2f ms, "
+      "wal p50 %.2f ms, ratio %.3f (bar 1.25)\n",
+      mem_rw.all.p50_ms, wal_rw.all.p50_ms, wal_p50_ratio);
+  std::printf("#   write p50: mem %.3f ms, wal %.3f ms\n", mem_rw.write.p50_ms,
+              wal_rw.write.p50_ms);
 
   if (global.series_count() == 0) {
     std::fprintf(stderr, "global metrics snapshot is empty — instrumentation did not record\n");
@@ -448,6 +609,19 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"metrics_on_wall_ms\": %.2f,\n", on_ms);
   std::fprintf(out, "    \"metrics_off_wall_ms\": %.2f,\n", off_ms);
   std::fprintf(out, "    \"overhead_pct\": %.2f\n  },\n", overhead_pct);
+  auto rw_json = [&scheme_json](const MixedRwStats& s) {
+    return "{\"wall_ms\": " + std::to_string(s.wall_ms) +
+           ", \"ops_per_sec\": " + std::to_string(s.ops_per_sec) +
+           ", \"all\": " + scheme_json(s.all) + ", \"read\": " + scheme_json(s.read) +
+           ", \"write\": " + scheme_json(s.write) + "}";
+  };
+  std::fprintf(out, "  \"wal_ab\": {\n");
+  std::fprintf(out, "    \"threads\": 8,\n    \"operations\": %zu,\n", mem_rw.ops);
+  std::fprintf(out, "    \"write_fraction\": 0.25,\n    \"fsync\": \"batch\",\n");
+  std::fprintf(out, "    \"memory\": %s,\n", rw_json(mem_rw).c_str());
+  std::fprintf(out, "    \"wal\": %s,\n", rw_json(wal_rw).c_str());
+  std::fprintf(out, "    \"p50_ratio\": %.3f,\n", wal_p50_ratio);
+  std::fprintf(out, "    \"acceptance\": \"wal p50 <= 1.25x in-memory p50\"\n  },\n");
   std::fprintf(out, "  \"metrics\": %s\n}\n", global.to_json().c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", cfg.out_path.c_str());

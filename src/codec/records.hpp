@@ -1,0 +1,105 @@
+// Versioned codecs for the protocol objects the SP and DH persist (ROADMAP
+// item 1, docs/WIRE_FORMAT.md has the field-by-field layouts):
+//
+//  * Construction 1 puzzle records Z_O (core::Puzzle);
+//  * Construction 2 file sets — τ' access tree, PK, MK, ciphertext, k
+//    (core::Construction2::UploadResult);
+//  * SP observation-log entries (channel + data);
+//  * DH blobs (URL + ciphertext);
+//  * ShardedStore record envelopes — the WAL's unit of replay: an operation
+//    (put / erase / observe), a keyspace, a sequence number for id-counter
+//    recovery, the record id and the value bytes.
+//
+// Every encoder emits one complete frame (codec/wire.hpp): magic, version,
+// record type, length, payload, CRC32C. Every decoder validates the frame,
+// checks the record type, and rejects trailing bytes — so a decoded object
+// re-encodes byte-identically (the round-trip property tests pin this).
+//
+// Codecs live below sp::core in the link order: this library uses the core
+// structs header-only (plain aggregates) and links only sp_crypto + sp_abe,
+// so sp_storage and sp_osn can depend on it without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "abe/access_tree.hpp"
+#include "codec/wire.hpp"
+#include "core/construction2.hpp"
+#include "core/puzzle.hpp"
+#include "crypto/bytes.hpp"
+
+namespace sp::codec {
+
+/// Frame record-type byte. Values are wire constants: never renumber, only
+/// append (docs/WIRE_FORMAT.md).
+enum class RecordType : std::uint8_t {
+  kEnvelope = 1,     ///< ShardedStore record envelope (WAL unit)
+  kC1Puzzle = 2,     ///< Construction 1 Z_O
+  kC2FileSet = 3,    ///< Construction 2 {τ', PK, MK, CT', k}
+  kObservation = 4,  ///< SP observation-log entry
+  kDhBlob = 5,       ///< DH object at rest
+  kSegment = 6,      ///< segment-file body (src/storage/segment.cpp)
+  kAccessTree = 7,   ///< standalone τ/τ' (rides inside kC2FileSet too)
+};
+
+// ------------------------------------------------------------- envelopes
+
+/// One durable mutation of a ShardedStore-backed host. `seq` carries the
+/// host's id counter at issue time (0 when not applicable) so recovery can
+/// restore monotonic id issuance without replaying ids from content.
+struct Envelope {
+  enum class Op : std::uint8_t {
+    kPut = 1,      ///< insert or overwrite `id` with `value`
+    kErase = 2,    ///< remove `id`
+    kObserve = 3,  ///< append to the observation log (id = channel)
+  };
+
+  Op op = Op::kPut;
+  std::uint8_t space = 0;  ///< host-defined keyspace (records / observations / blobs)
+  std::uint64_t seq = 0;
+  std::string id;
+  Bytes value;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+[[nodiscard]] Bytes encode_envelope(const Envelope& env);
+[[nodiscard]] Envelope decode_envelope(std::span<const std::uint8_t> data);
+/// Payload-level decoder for frames already parsed out of a log stream.
+[[nodiscard]] Envelope decode_envelope_payload(const Frame& f);
+
+// ------------------------------------------------------- protocol objects
+
+[[nodiscard]] Bytes encode_c1_puzzle(const core::Puzzle& puzzle);
+[[nodiscard]] core::Puzzle decode_c1_puzzle(std::span<const std::uint8_t> data);
+
+[[nodiscard]] Bytes encode_access_tree(const abe::AccessTree& tree);
+[[nodiscard]] abe::AccessTree decode_access_tree(std::span<const std::uint8_t> data);
+
+[[nodiscard]] Bytes encode_c2_file_set(const core::Construction2::UploadResult& files);
+[[nodiscard]] core::Construction2::UploadResult decode_c2_file_set(
+    std::span<const std::uint8_t> data);
+
+struct ObservationRecord {
+  std::string channel;
+  Bytes data;
+
+  friend bool operator==(const ObservationRecord&, const ObservationRecord&) = default;
+};
+[[nodiscard]] Bytes encode_observation(std::string_view channel,
+                                       std::span<const std::uint8_t> data);
+[[nodiscard]] ObservationRecord decode_observation(std::span<const std::uint8_t> data);
+
+struct DhBlobRecord {
+  std::string url;
+  Bytes blob;
+
+  friend bool operator==(const DhBlobRecord&, const DhBlobRecord&) = default;
+};
+[[nodiscard]] Bytes encode_dh_blob(std::string_view url, std::span<const std::uint8_t> blob);
+[[nodiscard]] DhBlobRecord decode_dh_blob(std::span<const std::uint8_t> data);
+
+}  // namespace sp::codec

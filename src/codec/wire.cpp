@@ -1,0 +1,203 @@
+#include "codec/wire.hpp"
+
+namespace sp::codec {
+
+namespace {
+
+/// Slice-by-8 CRC-32C tables, built once at first use. Table 0 is the plain
+/// bitwise table; table k folds k extra bytes per step.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& crc_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  const auto& t = crc_tables().t;
+  crc = ~crc;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint32_t low = crc ^ (std::uint32_t{data[i]} | (std::uint32_t{data[i + 1]} << 8) |
+                                     (std::uint32_t{data[i + 2]} << 16) |
+                                     (std::uint32_t{data[i + 3]} << 24));
+    crc = t[7][low & 0xffu] ^ t[6][(low >> 8) & 0xffu] ^ t[5][(low >> 16) & 0xffu] ^
+          t[4][low >> 24] ^ t[3][data[i + 4]] ^ t[2][data[i + 5]] ^ t[1][data[i + 6]] ^
+          t[0][data[i + 7]];
+  }
+  for (; i < data.size(); ++i) crc = (crc >> 8) ^ t[0][(crc ^ data[i]) & 0xffu];
+  return ~crc;
+}
+
+// ---------------------------------------------------------------- writer
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Writer::blob(std::span<const std::uint8_t> data) {
+  if (data.size() > kMaxFieldBytes) throw CodecError("codec: field exceeds kMaxFieldBytes");
+  u32(static_cast<std::uint32_t>(data.size()));
+  bytes(data);
+}
+
+void Writer::str(std::string_view s) {
+  blob(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+// ---------------------------------------------------------------- reader
+
+std::uint8_t Reader::u8() {
+  if (remaining() < 1) throw CodecError("codec: truncated u8");
+  return data_[off_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (remaining() < 2) throw CodecError("codec: truncated u16");
+  const std::uint16_t v = static_cast<std::uint16_t>(std::uint16_t{data_[off_]} |
+                                                     (std::uint16_t{data_[off_ + 1]} << 8));
+  off_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (remaining() < 4) throw CodecError("codec: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[off_ + static_cast<std::size_t>(i)];
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (remaining() < 8) throw CodecError("codec: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[off_ + static_cast<std::size_t>(i)];
+  off_ += 8;
+  return v;
+}
+
+std::span<const std::uint8_t> Reader::bytes(std::size_t n) {
+  if (remaining() < n) throw CodecError("codec: truncated bytes");
+  const auto out = data_.subspan(off_, n);
+  off_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> Reader::blob_view() {
+  const std::uint32_t len = u32();
+  if (len > Writer::kMaxFieldBytes) throw CodecError("codec: field length exceeds limit");
+  return bytes(len);
+}
+
+Bytes Reader::blob() {
+  const auto view = blob_view();
+  return Bytes(view.begin(), view.end());
+}
+
+std::string Reader::str() {
+  const auto view = blob_view();
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+void Reader::expect_done(const char* what) const {
+  if (off_ != data_.size()) throw CodecError(std::string(what) + ": trailing bytes");
+}
+
+// ---------------------------------------------------------------- framing
+
+Bytes frame(std::uint8_t type, std::span<const std::uint8_t> payload, std::uint8_t version) {
+  if (payload.size() > Writer::kMaxFieldBytes) throw CodecError("codec: payload exceeds limit");
+  Writer w;
+  w.bytes(kFrameMagic);
+  w.u8(version);
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  Bytes out = w.take();
+  const std::uint32_t crc = crc32c(std::span(out).subspan(kFrameMagic.size()));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return out;
+}
+
+namespace {
+
+/// Shared frame parse; `strict` throws CodecError with a reason, non-strict
+/// returns nullopt (replay's torn-tail handling).
+std::optional<Frame> parse_frame(std::span<const std::uint8_t> data, std::size_t off,
+                                 std::size_t& end, bool strict) {
+  const auto fail = [strict](const char* why) -> std::optional<Frame> {
+    if (strict) throw CodecError(why);
+    return std::nullopt;
+  };
+  if (data.size() - off < kFrameOverhead) return fail("codec: truncated frame header");
+  for (std::size_t i = 0; i < kFrameMagic.size(); ++i) {
+    if (data[off + i] != kFrameMagic[i]) return fail("codec: bad frame magic");
+  }
+  Frame f;
+  f.version = data[off + 4];
+  f.type = data[off + 5];
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | data[off + 6 + static_cast<std::size_t>(i)];
+  if (len > Writer::kMaxFieldBytes) return fail("codec: frame payload exceeds limit");
+  if (data.size() - off < kFrameOverhead + len) return fail("codec: truncated frame payload");
+  f.payload = data.subspan(off + 10, len);
+  const std::uint32_t want = crc32c(data.subspan(off + 4, 6 + len));
+  std::uint32_t got = 0;
+  for (int i = 3; i >= 0; --i) {
+    got = (got << 8) | data[off + 10 + len + static_cast<std::size_t>(i)];
+  }
+  if (want != got) return fail("codec: frame CRC mismatch");
+  end = off + kFrameOverhead + len;
+  return f;
+}
+
+}  // namespace
+
+Frame unframe(std::span<const std::uint8_t> data) {
+  std::size_t end = 0;
+  const auto f = parse_frame(data, 0, end, /*strict=*/true);
+  if (end != data.size()) throw CodecError("codec: trailing bytes after frame");
+  return *f;
+}
+
+std::optional<Frame> try_unframe_prefix(std::span<const std::uint8_t> data, std::size_t& off) {
+  if (off >= data.size()) return std::nullopt;
+  std::size_t end = 0;
+  const auto f = parse_frame(data, off, end, /*strict=*/false);
+  if (!f) return std::nullopt;
+  off = end;
+  return f;
+}
+
+}  // namespace sp::codec

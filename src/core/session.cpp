@@ -116,6 +116,31 @@ struct SessionMetrics {
 
 }  // namespace
 
+namespace {
+
+storage::DurableStore::Options host_store_options(const PersistenceConfig& p, const char* sub) {
+  storage::DurableStore::Options opts;
+  opts.dir = p.dir + "/" + sub;
+  opts.wal.fsync = p.fsync;
+  opts.checkpoint_wal_bytes = p.checkpoint_wal_bytes;
+  return opts;
+}
+
+// Both factories rely on guaranteed copy elision: the hosts are pinned
+// (shard mutexes), so the conditional construction must happen directly in
+// the member's storage.
+osn::ServiceProvider make_sp(const std::optional<PersistenceConfig>& p) {
+  if (p) return osn::ServiceProvider(host_store_options(*p, "sp"));
+  return osn::ServiceProvider();
+}
+
+osn::StorageHost make_dh(const std::optional<PersistenceConfig>& p) {
+  if (p) return osn::StorageHost(host_store_options(*p, "dh"));
+  return osn::StorageHost();
+}
+
+}  // namespace
+
 Session::Session(SessionConfig config)
     : config_(std::move(config)),
       curve_(ec::preset_params(config_.pairing_preset)),
@@ -124,6 +149,8 @@ Session::Session(SessionConfig config)
           // both constructions, as one security level should.
           curve_.fp(), curve_)),
       c2_(std::make_unique<Construction2>(curve_)),
+      sp_(make_sp(config_.persistence)),
+      dh_(make_dh(config_.persistence)),
       network_(config_.link, crypto::Drbg(config_.seed + "-net")),
       injector_(config_.faults ? std::make_unique<net::FaultInjector>(*config_.faults) : nullptr),
       rng_(config_.seed + "-session"),

@@ -29,6 +29,7 @@
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
 #include "osn/storage_host.hpp"
+#include "storage/wal.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -57,6 +58,15 @@ struct AccessResult {
   [[nodiscard]] bool success() const { return granted && object.has_value(); }
 };
 
+/// Durable SP/DH state rooted at `dir` (the SP persists under dir/sp, the
+/// DH under dir/dh). Reopening a session on the same directory rebuilds
+/// both hosts' stores from their WAL/segment pairs.
+struct PersistenceConfig {
+  std::string dir;
+  storage::WalWriter::Fsync fsync = storage::WalWriter::Fsync::kBatch;
+  std::uint64_t checkpoint_wal_bytes = 64ull << 20;
+};
+
 struct SessionConfig {
   ec::ParamPreset pairing_preset = ec::ParamPreset::kTest;
   net::LinkProfile link = net::wlan_80211n_to_ec2();
@@ -67,6 +77,8 @@ struct SessionConfig {
   /// Retry/backoff/deadline policy applied by access_with_retries and
   /// access_parallel to transient faults.
   net::RetryPolicy retry;
+  /// nullopt = in-memory hosts (the pre-persistence behavior, bit for bit).
+  std::optional<PersistenceConfig> persistence;
 };
 
 class Session {

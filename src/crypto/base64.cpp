@@ -74,6 +74,12 @@ Bytes base64_decode(std::string_view text) {
       if (d < 0) throw std::invalid_argument("base64: invalid character");
       v = (v << 6) | static_cast<std::uint32_t>(d);
     }
+    // Canonical-form check (RFC 4648 §3.5): the bits a padded quantum does
+    // not emit must be zero, otherwise two distinct strings decode to the
+    // same bytes ("QQ==" and "QR==" must not both mean {0x41}).
+    if ((pad == 2 && (v & 0xFFFFu) != 0) || (pad == 1 && (v & 0xFFu) != 0)) {
+      throw std::invalid_argument("base64: nonzero padding bits");
+    }
     out.push_back(static_cast<std::uint8_t>(v >> 16));
     if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
     if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));

@@ -28,6 +28,7 @@ struct FaultMetrics {
         &reg.counter("sp_faults_injected_total", "", {{"kind", "sp_partial_reply"}}),
         &reg.counter("sp_faults_injected_total", "", {{"kind", "dh_miss"}}),
         &reg.counter("sp_faults_injected_total", "", {{"kind", "dh_corrupt"}}),
+        &reg.counter("sp_faults_injected_total", "", {{"kind", "crash"}}),
     }};
     return m;
   }
@@ -56,6 +57,7 @@ constexpr std::uint8_t kClassSpError = 1;
 constexpr std::uint8_t kClassSpPartial = 2;
 constexpr std::uint8_t kClassDh = 3;
 constexpr std::uint8_t kClassJitter = 4;
+constexpr std::uint8_t kClassCrash = 5;
 
 }  // namespace
 
@@ -93,6 +95,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSpPartialReply: return "sp_partial_reply";
     case FaultKind::kDhMiss: return "dh_miss";
     case FaultKind::kDhCorrupt: return "dh_corrupt";
+    case FaultKind::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -176,13 +179,22 @@ std::optional<ServeError> FaultStream::next_dh() {
   return std::nullopt;
 }
 
+bool FaultStream::next_crash() {
+  const double u = unit(kClassCrash, cursors_[4]++);
+  if (u < injector_->plan().p_crash) {
+    if (record_) injector_->record(FaultKind::kCrash);
+    return true;
+  }
+  return false;
+}
+
 double FaultStream::jitter_unit(std::uint64_t index) const { return unit(kClassJitter, index); }
 
 // ---------------------------------------------------------------- injector
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   for (const double p : {plan_.p_transfer_timeout, plan_.p_latency_spike, plan_.p_sp_error,
-                         plan_.p_sp_partial, plan_.p_dh_miss, plan_.p_dh_corrupt}) {
+                         plan_.p_sp_partial, plan_.p_dh_miss, plan_.p_dh_corrupt, plan_.p_crash}) {
     if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultPlan: probabilities in [0,1]");
   }
   if (plan_.p_dh_miss + plan_.p_dh_corrupt > 1.0) {
@@ -259,7 +271,9 @@ std::string FaultInjector::schedule_digest(std::string_view label, std::uint64_t
       const std::uint8_t partial_code = tape.next_sp_partial(8) > 0 ? 1 : 0;
       const auto dh = tape.next_dh();
       const std::uint8_t dh_code = !dh ? 0 : (*dh == ServeError::kDhMiss ? 1 : 2);
-      acc.update(std::array<std::uint8_t, 4>{transfer_code, sp_code, partial_code, dh_code});
+      const std::uint8_t crash_code = tape.next_crash() ? 1 : 0;
+      acc.update(
+          std::array<std::uint8_t, 5>{transfer_code, sp_code, partial_code, dh_code, crash_code});
     }
   }
   const auto digest = acc.finish();

@@ -96,8 +96,9 @@ enum class FaultKind : std::uint8_t {
   kSpPartialReply,
   kDhMiss,
   kDhCorrupt,
+  kCrash,  ///< storage-writer kill point (WAL group commit, PR 8)
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 7;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -110,6 +111,11 @@ struct FaultPlan {
   double p_sp_partial = 0.0;        ///< SP reply loses `partial_drop_frac` of its shares
   double p_dh_miss = 0.0;           ///< DH fetch fails outright
   double p_dh_corrupt = 0.0;        ///< DH delivers a corrupted blob
+  /// Storage-writer crash probability per WAL append (kill point: the
+  /// process dies mid-batch; recovery replay is what survives it). NOT set
+  /// by uniform() — killing the process is opt-in, never part of the
+  /// general chaos mix.
+  double p_crash = 0.0;
 
   double transfer_timeout_ms = 400.0;  ///< wasted wait charged for a timed-out exchange
   double latency_spike_ms = 250.0;     ///< extra delay a spiked exchange pays
@@ -148,6 +154,10 @@ class FaultStream {
   [[nodiscard]] std::size_t next_sp_partial(std::size_t n_shares);
   /// Fault decision for this request's next DH fetch.
   [[nodiscard]] std::optional<ServeError> next_dh();
+  /// True = the storage writer dies at this append (PRF-scheduled kill
+  /// point). The WAL writer draws once per record, so the same plan seed
+  /// always crashes at the same byte offset of the same batch.
+  [[nodiscard]] bool next_crash();
   /// Deterministic unit draw in [0, 1) for auxiliary randomness that must
   /// replay with the schedule (e.g. retry-backoff jitter).
   [[nodiscard]] double jitter_unit(std::uint64_t index) const;
@@ -161,7 +171,7 @@ class FaultStream {
 
   const FaultInjector* injector_;
   std::array<std::uint8_t, 32> base_;  ///< H(seed, receiver, post, ordinal)
-  std::array<std::uint64_t, 4> cursors_{};  ///< transfer / sp / partial / dh ordinals
+  std::array<std::uint64_t, 5> cursors_{};  ///< transfer / sp / partial / dh / crash ordinals
   bool record_ = true;  ///< false for digest replay tapes: draw, don't count
 };
 

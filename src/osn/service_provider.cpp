@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "codec/records.hpp"
 #include "crypto/secret.hpp"
 #include "obs/metrics.hpp"
+#include "osn/persist.hpp"
 
 namespace sp::osn {
 
@@ -43,6 +45,44 @@ struct SpMetrics {
 
 }  // namespace
 
+ServiceProvider::ServiceProvider(storage::DurableStore::Options durable)
+    : durable_(std::make_unique<storage::DurableStore>(std::move(durable))) {
+  // Per-space counter maxima: kSpRecords/kMeta seqs restore the id counter,
+  // kSpObservations seqs are the log's dense ordinals (dedup cursor — a
+  // checkpoint can leave an observation in both the segment and the next
+  // WAL, and appending it twice would corrupt the surveillance view).
+  std::uint64_t max_record_seq = 0;
+  recovery_ = durable_->recover([&](const codec::Envelope& env) {
+    switch (static_cast<Space>(env.space)) {
+      case Space::kMeta:
+        max_record_seq = std::max(max_record_seq, env.seq);
+        break;
+      case Space::kSpRecords:
+        max_record_seq = std::max(max_record_seq, env.seq);
+        if (env.op == codec::Envelope::Op::kPut) {
+          records_.put(env.id, env.value);
+        } else if (env.op == codec::Envelope::Op::kErase) {
+          records_.erase(env.id);
+        }
+        break;
+      case Space::kSpObservations: {
+        if (env.op != codec::Envelope::Op::kObserve) break;
+        const sp::MutexLock lock(observations_mutex_);
+        if (env.seq > observations_.size()) {
+          observations_.push_back(Observation{env.id, env.value});
+        }
+        break;
+      }
+      default:
+        break;  // unknown space: a newer writer's data, skip
+    }
+  });
+  next_.store(max_record_seq + 1, std::memory_order_relaxed);
+  SpMetrics::get().records.add(static_cast<std::int64_t>(records_.size()));
+  const sp::MutexLock lock(observations_mutex_);
+  SpMetrics::get().observations.add(static_cast<std::int64_t>(observations_.size()));
+}
+
 ServiceProvider::~ServiceProvider() {
   // No lock: by the time the destructor runs, no other thread may touch the
   // object (the usual C++ lifetime rule; the hammer tests join first).
@@ -59,8 +99,20 @@ ServiceProvider::~ServiceProvider() {
 std::string ServiceProvider::store_record(Bytes record) {
   // fetch_add keeps ids unique under concurrent stores; which thread gets
   // which id is scheduling-dependent, but every id is issued exactly once.
-  const std::string id = "puzzle-" + std::to_string(next_.fetch_add(1, std::memory_order_relaxed));
-  records_.put(id, std::move(record));
+  const std::uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+  const std::string id = "puzzle-" + std::to_string(n);
+  if (durable_) {
+    // persist.hpp's idiom: encode outside the lock, map-apply + enqueue
+    // under it, wait for the group commit outside.
+    Bytes framed = codec::encode_envelope(codec::Envelope{
+        codec::Envelope::Op::kPut, space_byte(Space::kSpRecords), n, id, record});
+    storage::DurableStore::Ticket ticket = 0;
+    records_.put_then(id, std::move(record),
+                      [&] { ticket = durable_->enqueue_framed(std::move(framed)); });
+    durable_->wait(ticket);
+  } else {
+    records_.put(id, std::move(record));
+  }
   SpMetrics::get().store.inc();
   SpMetrics::get().records.add(1);
   return id;
@@ -73,16 +125,32 @@ Bytes ServiceProvider::record(const std::string& puzzle_id) const {
 
 void ServiceProvider::replace_record(const std::string& puzzle_id, Bytes record) {
   SpMetrics::get().replace.inc();
-  records_.mutate(puzzle_id, "ServiceProvider", [&record](Bytes& stored) {
+  Bytes framed;
+  if (durable_) {
+    framed = codec::encode_envelope(codec::Envelope{
+        codec::Envelope::Op::kPut, space_byte(Space::kSpRecords), 0, puzzle_id, record});
+  }
+  storage::DurableStore::Ticket ticket = 0;
+  records_.mutate(puzzle_id, "ServiceProvider", [&](Bytes& stored) {
     crypto::secure_wipe(stored);  // refresh must not leave the old puzzle readable
     stored = std::move(record);
+    if (durable_) ticket = durable_->enqueue_framed(std::move(framed));
   });
+  if (durable_) durable_->wait(ticket);
 }
 
 void ServiceProvider::observe(const std::string& channel, Bytes data) const {
   SpMetrics::get().observe.inc();
   SpMetrics::get().observations.add(1);
   const sp::MutexLock lock(observations_mutex_);
+  if (durable_) {
+    // The ordinal (dense, assigned under the log lock) is the recovery
+    // dedup cursor. Fire-and-forget: the hot verify path never blocks on an
+    // observation fsync; the append is ordered with every durable write.
+    durable_->append_framed_async(codec::encode_envelope(
+        codec::Envelope{codec::Envelope::Op::kObserve, space_byte(Space::kSpObservations),
+                        observations_.size() + 1, channel, data}));
+  }
   observations_.push_back(Observation{channel, std::move(data)});
 }
 
@@ -125,6 +193,8 @@ std::size_t ServiceProvider::partial_drop(std::size_t n_shares, net::FaultStream
 void ServiceProvider::tamper_record(const std::string& puzzle_id, std::size_t offset,
                                     Bytes replacement) {
   SpMetrics::get().tamper.inc();
+  storage::DurableStore::Ticket ticket = 0;
+  bool queued = false;
   records_.mutate(puzzle_id, "ServiceProvider", [&](Bytes& stored) {
     // Subtraction-form bounds check: `offset + replacement.size()` wraps for
     // huge offsets and would wave an out-of-bounds write through.
@@ -134,7 +204,44 @@ void ServiceProvider::tamper_record(const std::string& puzzle_id, std::size_t of
     }
     std::copy(replacement.begin(), replacement.end(),
               stored.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (durable_) {
+      // Encoded under the lock — the tampered value exists only here. An
+      // adversary-surface path, so the serialization cost is irrelevant.
+      ticket = durable_->enqueue(codec::Envelope{
+          codec::Envelope::Op::kPut, space_byte(Space::kSpRecords), 0, puzzle_id, stored});
+      queued = true;
+    }
   });
+  if (queued) durable_->wait(ticket);
+}
+
+void ServiceProvider::checkpoint() {
+  if (!durable_) return;
+  durable_->checkpoint([this](const storage::DurableStore::Applier& emit) { emit_state(emit); });
+}
+
+bool ServiceProvider::maybe_checkpoint() {
+  if (!durable_) return false;
+  return durable_->maybe_checkpoint(
+      [this](const storage::DurableStore::Applier& emit) { emit_state(emit); });
+}
+
+void ServiceProvider::sync() {
+  if (durable_) durable_->flush();
+}
+
+void ServiceProvider::emit_state(const storage::DurableStore::Applier& emit) const {
+  // Counter carrier first: compaction must never regress id issuance.
+  emit(codec::Envelope{codec::Envelope::Op::kPut, space_byte(Space::kMeta),
+                       next_.load(std::memory_order_relaxed) - 1, "sp-counter", {}});
+  records_.for_each([&](const std::string& id, const Bytes& rec) {
+    emit(codec::Envelope{codec::Envelope::Op::kPut, space_byte(Space::kSpRecords), 0, id, rec});
+  });
+  const sp::MutexLock lock(observations_mutex_);
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    emit(codec::Envelope{codec::Envelope::Op::kObserve, space_byte(Space::kSpObservations), i + 1,
+                         observations_[i].channel, observations_[i].data});
+  }
 }
 
 }  // namespace sp::osn

@@ -15,12 +15,15 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.hpp"
 #include "net/faults.hpp"
 #include "osn/sharded_store.hpp"
+#include "storage/store.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -31,6 +34,12 @@ using crypto::Bytes;
 class ServiceProvider {
  public:
   ServiceProvider() = default;
+  /// Durable SP: opens (or creates) the WAL/segment pair in `durable.dir`,
+  /// replays it to rebuild the record map, the observation log and the id
+  /// counter, then serves. Every store/replace/tamper afterwards is
+  /// acknowledged only once its envelope is durable per the WAL's fsync
+  /// policy; observations persist fire-and-forget (ordered, unacknowledged).
+  explicit ServiceProvider(storage::DurableStore::Options durable);
   /// The SP's view holds answer hashes and blinded shares; even though the
   /// protocol keeps them useless to the SP, the simulation wipes them on
   /// teardown so test-process memory never accumulates puzzle material.
@@ -94,11 +103,31 @@ class ServiceProvider {
   /// does not fit inside the record.
   void tamper_record(const std::string& puzzle_id, std::size_t offset, Bytes replacement);
 
+  // ---- persistence (null / no-ops for an in-memory SP) ----
+
+  [[nodiscard]] bool is_durable() const { return durable_ != nullptr; }
+  [[nodiscard]] const storage::DurableStore* durable() const { return durable_.get(); }
+  /// Replay stats from the durable constructor (zeroes when in-memory).
+  [[nodiscard]] const storage::DurableStore::RecoveryStats& recovery_stats() const {
+    return recovery_;
+  }
+  /// Compacts WAL history into a fresh segment (store.hpp's protocol).
+  void checkpoint();
+  /// checkpoint() iff the live WAL crossed the configured byte threshold.
+  bool maybe_checkpoint();
+  /// Blocks until everything appended so far (observations included) is
+  /// durable.
+  void sync();
+
  private:
+  void emit_state(const storage::DurableStore::Applier& emit) const;
+
   ShardedStore<Bytes> records_;
   mutable sp::Mutex observations_mutex_;
   mutable std::vector<Observation> observations_ SP_GUARDED_BY(observations_mutex_);
   std::atomic<std::uint64_t> next_{1};
+  std::unique_ptr<storage::DurableStore> durable_;  ///< null = in-memory host
+  storage::DurableStore::RecoveryStats recovery_;
 };
 
 }  // namespace sp::osn

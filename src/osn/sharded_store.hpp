@@ -42,6 +42,19 @@ class ShardedStore {
     s.entries[key] = std::move(value);
   }
 
+  /// Inserts or overwrites, then runs `after` while STILL holding the shard
+  /// lock. The persistence layer hangs its WAL enqueue here: applying to the
+  /// map and fixing the log position under one lock makes WAL replay order
+  /// equal map application order for every key (store.hpp's checkpoint
+  /// invariant). `after` must be brief and must not touch this store.
+  template <typename Fn>
+  void put_then(const std::string& key, Value value, Fn&& after) {
+    Shard& s = shard_of(key);
+    const sp::MutexLock lock(s.mutex);
+    s.entries[key] = std::move(value);
+    after();
+  }
+
   /// Copy of the value; throws std::out_of_range (with `who` as context) if
   /// absent.
   [[nodiscard]] Value get(const std::string& key, const char* who) const {
@@ -98,6 +111,21 @@ class ShardedStore {
     if (it == s.entries.end()) return std::nullopt;
     std::optional<Value> out(std::move(it->second));
     s.entries.erase(it);
+    return out;
+  }
+
+  /// `take` variant of put_then: when the key exists, runs `after(value)`
+  /// under the shard lock before returning the value; absent keys skip
+  /// `after` entirely (same ordering rationale as put_then).
+  template <typename Fn>
+  [[nodiscard]] std::optional<Value> take_then(const std::string& key, Fn&& after) {
+    Shard& s = shard_of(key);
+    const sp::MutexLock lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) return std::nullopt;
+    std::optional<Value> out(std::move(it->second));
+    s.entries.erase(it);
+    after(*out);
     return out;
   }
 

@@ -11,11 +11,13 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "crypto/bytes.hpp"
 #include "net/faults.hpp"
 #include "osn/sharded_store.hpp"
+#include "storage/store.hpp"
 
 namespace sp::osn {
 
@@ -24,6 +26,11 @@ using crypto::Bytes;
 class StorageHost {
  public:
   StorageHost() = default;
+  /// Durable DH: opens (or creates) the WAL/segment pair in `durable.dir`,
+  /// replays it to rebuild the blob map and the URL counter, then serves.
+  /// store/remove/tamper acknowledge only once their envelope is durable per
+  /// the WAL's fsync policy.
+  explicit StorageHost(storage::DurableStore::Options durable);
   /// Settles the process-wide object/byte gauges for everything still at
   /// rest in this instance.
   ~StorageHost();
@@ -63,14 +70,35 @@ class StorageHost {
   /// Everything this host has ever seen: a point-in-time copy of its
   /// complete surveillance view.
   [[nodiscard]] std::map<std::string, Bytes> observed_blobs() const { return blobs_.snapshot(); }
-  /// Malicious DH: corrupt a stored object (flip a byte).
+  /// Malicious DH: corrupt a stored object (flip a byte). Throws
+  /// std::out_of_range when `byte_index` is outside the blob (empty blobs
+  /// have no valid index) — the same contract as
+  /// ServiceProvider::tamper_record, so the adversary surface agrees on what
+  /// an invalid tamper means.
   void tamper(const std::string& url, std::size_t byte_index);
-  /// Malicious DH: delete an object.
+  /// Malicious DH: delete an object. Throws std::out_of_range for unknown
+  /// URLs.
   void remove(const std::string& url);
 
+  // ---- persistence (null / no-ops for an in-memory DH) ----
+
+  [[nodiscard]] bool is_durable() const { return durable_ != nullptr; }
+  [[nodiscard]] const storage::DurableStore* durable() const { return durable_.get(); }
+  [[nodiscard]] const storage::DurableStore::RecoveryStats& recovery_stats() const {
+    return recovery_;
+  }
+  void checkpoint();
+  bool maybe_checkpoint();
+  /// Blocks until everything appended so far is durable.
+  void sync();
+
  private:
+  void emit_state(const storage::DurableStore::Applier& emit) const;
+
   ShardedStore<Bytes> blobs_;
   std::atomic<std::uint64_t> next_{1};
+  std::unique_ptr<storage::DurableStore> durable_;  ///< null = in-memory host
+  storage::DurableStore::RecoveryStats recovery_;
 };
 
 }  // namespace sp::osn

@@ -1,0 +1,166 @@
+#include "storage/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+#include "codec/wire.hpp"
+
+namespace sp::storage {
+
+namespace {
+
+Bytes encode_footer(std::uint64_t entries, std::uint64_t max_seq) {
+  codec::Writer w;
+  w.u64(entries);
+  w.u64(max_seq);
+  return codec::frame(static_cast<std::uint8_t>(codec::RecordType::kSegment), w.view());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+SegmentWriter::SegmentWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("SegmentWriter: open(" + path_ + "): " + std::strerror(errno));
+  }
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    // An unfinished segment has no valid footer; unlink it so recovery never
+    // even sees the partial file.
+    if (!finished_) ::unlink(path_.c_str());
+  }
+}
+
+void SegmentWriter::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd_, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("SegmentWriter: write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  bytes_ += size;
+}
+
+void SegmentWriter::add(const codec::Envelope& env) {
+  const Bytes framed = codec::encode_envelope(env);
+  write_all(framed.data(), framed.size());
+  ++entries_;
+  if (env.seq > max_seq_) max_seq_ = env.seq;
+}
+
+std::uint64_t SegmentWriter::finish() {
+  const Bytes footer = encode_footer(entries_, max_seq_);
+  write_all(footer.data(), footer.size());
+  if (::fdatasync(fd_) != 0) {
+    throw std::runtime_error(std::string("SegmentWriter: fdatasync: ") + std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = -1;
+  finished_ = true;
+  return bytes_;
+}
+
+// ---------------------------------------------------------------- reader
+
+std::string Segment::index_id(std::uint8_t space, std::string_view id) {
+  std::string k;
+  k.reserve(id.size() + 1);
+  k.push_back(static_cast<char>(space));
+  k.append(id);
+  return k;
+}
+
+Segment::Segment(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("Segment: open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("Segment: fstat(" + path + "): " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    throw codec::CodecError("Segment: empty file: " + path);
+  }
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (m == MAP_FAILED) {
+    throw std::runtime_error("Segment: mmap(" + path + "): " + std::strerror(errno));
+  }
+  map_ = static_cast<const std::uint8_t*>(m);
+
+  try {
+    const std::span<const std::uint8_t> data(map_, size_);
+    std::size_t off = 0;
+    bool saw_footer = false;
+    while (off < size_) {
+      const std::size_t frame_off = off;
+      const auto f = codec::try_unframe_prefix(data, off);
+      if (!f) throw codec::CodecError("Segment: corrupt frame in " + path);
+      if (f->type == static_cast<std::uint8_t>(codec::RecordType::kSegment)) {
+        codec::Reader r(f->payload);
+        const std::uint64_t count = r.u64();
+        const std::uint64_t max_seq = r.u64();
+        r.expect_done("segment footer");
+        if (off != size_) throw codec::CodecError("Segment: data after footer in " + path);
+        if (count != entries_) throw codec::CodecError("Segment: footer count mismatch in " + path);
+        max_seq_ = max_seq;
+        saw_footer = true;
+        break;
+      }
+      const codec::Envelope env = codec::decode_envelope_payload(*f);
+      index_[index_id(env.space, env.id)] = frame_off;
+      ++entries_;
+    }
+    if (!saw_footer) throw codec::CodecError("Segment: missing footer in " + path);
+  } catch (...) {
+    ::munmap(const_cast<std::uint8_t*>(map_), size_);
+    map_ = nullptr;
+    throw;
+  }
+}
+
+Segment::~Segment() {
+  if (map_ != nullptr) ::munmap(const_cast<std::uint8_t*>(map_), size_);
+}
+
+std::optional<codec::Envelope> Segment::get(std::uint8_t space, std::string_view id) const {
+  const auto it = index_.find(index_id(space, id));
+  if (it == index_.end()) return std::nullopt;
+  std::size_t off = it->second;
+  const auto f = codec::try_unframe_prefix(std::span(map_, size_), off);
+  if (!f) throw codec::CodecError("Segment: indexed frame no longer parses");
+  return codec::decode_envelope_payload(*f);
+}
+
+void Segment::for_each(const std::function<void(const codec::Envelope&)>& fn) const {
+  const std::span<const std::uint8_t> data(map_, size_);
+  std::size_t off = 0;
+  while (off < size_) {
+    const auto f = codec::try_unframe_prefix(data, off);
+    if (!f) throw codec::CodecError("Segment: corrupt frame during scan");
+    if (f->type == static_cast<std::uint8_t>(codec::RecordType::kSegment)) break;
+    fn(codec::decode_envelope_payload(*f));
+  }
+}
+
+}  // namespace sp::storage

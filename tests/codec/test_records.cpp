@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "abe/access_tree.hpp"
+#include "codec/records.hpp"
+#include "codec/wire.hpp"
+#include "core/construction2.hpp"
+#include "core/puzzle.hpp"
+#include "crypto/bytes.hpp"
+
+namespace sp::codec {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+
+// Deterministic pseudo-random object factories. Property style: for every
+// seeded draw, encode -> decode -> re-encode must be byte-identical, and the
+// decoded object must equal the original.
+
+Bytes random_bytes(std::mt19937& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<int> byte(0, 255);
+  Bytes out(len(rng));
+  for (auto& b : out) b = static_cast<std::uint8_t>(byte(rng));
+  return out;
+}
+
+std::string random_string(std::mt19937& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<int> ch(32, 126);
+  std::string out(len(rng), ' ');
+  for (auto& c : out) c = static_cast<char>(ch(rng));
+  return out;
+}
+
+Envelope random_envelope(std::mt19937& rng) {
+  std::uniform_int_distribution<int> op(1, 3);
+  std::uniform_int_distribution<int> small(0, 255);
+  Envelope env;
+  env.op = static_cast<Envelope::Op>(op(rng));
+  env.space = static_cast<std::uint8_t>(small(rng));
+  env.seq = std::uniform_int_distribution<std::uint64_t>()(rng);
+  env.id = random_string(rng, 48);
+  env.value = random_bytes(rng, 256);
+  return env;
+}
+
+core::Puzzle random_puzzle(std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> n_dist(0, 12);
+  core::Puzzle p;
+  const std::size_t n = n_dist(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::PuzzleEntry e;
+    e.question = random_string(rng, 40);
+    e.answer_hash = random_bytes(rng, 32);
+    e.blinded_share = random_bytes(rng, 64);
+    p.entries.push_back(std::move(e));
+  }
+  p.threshold = n == 0 ? 0 : std::uniform_int_distribution<std::size_t>(1, n)(rng);
+  p.puzzle_key = random_bytes(rng, 32);
+  p.url = "dh://objects/" + random_string(rng, 24);
+  p.sharer_public_key = random_bytes(rng, 65);
+  p.signature = random_bytes(rng, 64);
+  return p;
+}
+
+abe::AccessTree random_height1_tree(std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> n_dist(1, 8);
+  const std::size_t n = n_dist(rng);
+  std::vector<std::pair<std::string, std::string>> qa;
+  for (std::size_t i = 0; i < n; ++i) {
+    qa.emplace_back("q" + std::to_string(i) + random_string(rng, 12),
+                    "a" + std::to_string(i) + random_string(rng, 12));
+  }
+  const std::size_t k = std::uniform_int_distribution<std::size_t>(1, n)(rng);
+  return abe::AccessTree::puzzle_policy(qa, k);
+}
+
+// ---------------------------------------------------------------- envelopes
+
+TEST(RecordCodecs, EnvelopeRoundTripProperty) {
+  std::mt19937 rng(0xC0DEC);
+  for (int i = 0; i < 200; ++i) {
+    const Envelope env = random_envelope(rng);
+    const Bytes encoded = encode_envelope(env);
+    const Envelope decoded = decode_envelope(encoded);
+    EXPECT_EQ(decoded, env);
+    EXPECT_EQ(encode_envelope(decoded), encoded);  // canonical re-encode
+  }
+}
+
+TEST(RecordCodecs, EnvelopeRejectsBadOp) {
+  Envelope env;
+  env.id = "k1";
+  Bytes encoded = encode_envelope(env);
+  // Payload starts right after the 10-byte header; op is its first byte.
+  Bytes payload(encoded.begin() + 10, encoded.end() - 4);
+  payload[0] = 99;
+  const Bytes reframed = frame(static_cast<std::uint8_t>(RecordType::kEnvelope), payload);
+  EXPECT_THROW((void)decode_envelope(reframed), CodecError);
+}
+
+// ---------------------------------------------------------------- puzzles
+
+TEST(RecordCodecs, C1PuzzleRoundTripProperty) {
+  std::mt19937 rng(0x51);
+  for (int i = 0; i < 60; ++i) {
+    const core::Puzzle p = random_puzzle(rng);
+    const Bytes encoded = encode_c1_puzzle(p);
+    const core::Puzzle decoded = decode_c1_puzzle(encoded);
+    EXPECT_EQ(decoded, p);
+    EXPECT_EQ(encode_c1_puzzle(decoded), encoded);
+  }
+}
+
+TEST(RecordCodecs, AccessTreeRoundTripProperty) {
+  std::mt19937 rng(0x7EE);
+  for (int i = 0; i < 60; ++i) {
+    const abe::AccessTree tree = random_height1_tree(rng);
+    const Bytes encoded = encode_access_tree(tree);
+    const abe::AccessTree decoded = decode_access_tree(encoded);
+    EXPECT_EQ(decoded, tree);
+    EXPECT_EQ(encode_access_tree(decoded), encoded);
+    // Perturbed trees (hashed leaves) round-trip too.
+    const abe::AccessTree perturbed = tree.perturb();
+    EXPECT_EQ(decode_access_tree(encode_access_tree(perturbed)), perturbed);
+  }
+}
+
+TEST(RecordCodecs, C2FileSetRoundTripProperty) {
+  std::mt19937 rng(0xC2);
+  for (int i = 0; i < 40; ++i) {
+    core::Construction2::UploadResult files;
+    files.perturbed_tree = random_height1_tree(rng).perturb();
+    files.public_key = random_bytes(rng, 128);
+    files.master_key = random_bytes(rng, 128);
+    files.ciphertext = random_bytes(rng, 512);
+    files.threshold = std::uniform_int_distribution<std::size_t>(1, 8)(rng);
+
+    const Bytes encoded = encode_c2_file_set(files);
+    const core::Construction2::UploadResult decoded = decode_c2_file_set(encoded);
+    EXPECT_EQ(decoded.perturbed_tree, files.perturbed_tree);
+    EXPECT_EQ(decoded.public_key, files.public_key);
+    EXPECT_EQ(decoded.master_key, files.master_key);
+    EXPECT_EQ(decoded.ciphertext, files.ciphertext);
+    EXPECT_EQ(decoded.threshold, files.threshold);
+    EXPECT_EQ(encode_c2_file_set(decoded), encoded);
+  }
+}
+
+TEST(RecordCodecs, ObservationAndDhBlobRoundTrip) {
+  std::mt19937 rng(0x0B5);
+  for (int i = 0; i < 60; ++i) {
+    const std::string channel = random_string(rng, 32);
+    const Bytes data = random_bytes(rng, 200);
+    const Bytes obs_encoded = encode_observation(channel, data);
+    const ObservationRecord obs_rec = decode_observation(obs_encoded);
+    EXPECT_EQ(obs_rec.channel, channel);
+    EXPECT_EQ(obs_rec.data, data);
+    EXPECT_EQ(encode_observation(obs_rec.channel, obs_rec.data), obs_encoded);
+
+    const std::string url = "dh://objects/" + random_string(rng, 24);
+    const Bytes blob = random_bytes(rng, 200);
+    const Bytes blob_encoded = encode_dh_blob(url, blob);
+    const DhBlobRecord blob_rec = decode_dh_blob(blob_encoded);
+    EXPECT_EQ(blob_rec.url, url);
+    EXPECT_EQ(blob_rec.blob, blob);
+    EXPECT_EQ(encode_dh_blob(blob_rec.url, blob_rec.blob), blob_encoded);
+  }
+}
+
+// ------------------------------------------------- rejection, every type
+
+TEST(RecordCodecs, EveryRecordTypeRejectsTruncationAndBitFlips) {
+  std::mt19937 rng(0xBAD);
+  const core::Puzzle puzzle = random_puzzle(rng);
+  const abe::AccessTree tree = random_height1_tree(rng);
+  core::Construction2::UploadResult files;
+  files.perturbed_tree = tree.perturb();
+  files.public_key = random_bytes(rng, 64);
+  files.master_key = random_bytes(rng, 64);
+  files.ciphertext = random_bytes(rng, 128);
+  files.threshold = 2;
+  Envelope env = random_envelope(rng);
+
+  struct Sample {
+    const char* name;
+    Bytes encoded;
+    std::function<void(std::span<const std::uint8_t>)> decode;
+  };
+  const std::vector<Sample> samples = {
+      {"envelope", encode_envelope(env), [](auto d) { (void)decode_envelope(d); }},
+      {"c1_puzzle", encode_c1_puzzle(puzzle), [](auto d) { (void)decode_c1_puzzle(d); }},
+      {"access_tree", encode_access_tree(tree), [](auto d) { (void)decode_access_tree(d); }},
+      {"c2_file_set", encode_c2_file_set(files), [](auto d) { (void)decode_c2_file_set(d); }},
+      {"observation", encode_observation("chan", to_bytes("data")),
+       [](auto d) { (void)decode_observation(d); }},
+      {"dh_blob", encode_dh_blob("dh://objects/abc", to_bytes("blob")),
+       [](auto d) { (void)decode_dh_blob(d); }},
+  };
+
+  for (const Sample& s : samples) {
+    // Truncation at every prefix length.
+    for (std::size_t len = 0; len < s.encoded.size(); ++len) {
+      EXPECT_THROW(s.decode(std::span(s.encoded).subspan(0, len)), CodecError)
+          << s.name << " truncated to " << len;
+    }
+    // A flipped bit in every byte position.
+    for (std::size_t i = 0; i < s.encoded.size(); ++i) {
+      Bytes bad = s.encoded;
+      bad[i] ^= 0x10;
+      EXPECT_THROW(s.decode(bad), CodecError) << s.name << " flipped byte " << i;
+    }
+    // Trailing garbage.
+    Bytes padded = s.encoded;
+    padded.push_back(0x00);
+    EXPECT_THROW(s.decode(padded), CodecError) << s.name << " with trailing byte";
+  }
+}
+
+TEST(RecordCodecs, WrongRecordTypeRejected) {
+  const Bytes obs_frame = encode_observation("chan", to_bytes("data"));
+  EXPECT_THROW((void)decode_dh_blob(obs_frame), CodecError);
+  EXPECT_THROW((void)decode_c1_puzzle(obs_frame), CodecError);
+  EXPECT_THROW((void)decode_envelope(obs_frame), CodecError);
+}
+
+TEST(RecordCodecs, FutureVersionRejectedByTypedDecoders) {
+  // Same payload, future format-version byte: the frame parses (so streaming
+  // replay can skip it) but every typed decoder refuses to interpret it.
+  const Bytes current = encode_observation("chan", to_bytes("data"));
+  const Frame f = unframe(current);
+  const Bytes future =
+      frame(f.type, f.payload, kWireVersion + 1);
+  EXPECT_THROW((void)decode_observation(future), CodecError);
+}
+
+TEST(RecordCodecs, HostileTreeFanOutRejected) {
+  // Hand-craft an internal node claiming 2^20 children with a near-empty
+  // payload: the decoder must refuse before reserving anything.
+  Writer w;
+  w.u32(2);        // threshold
+  w.u8(0);         // internal node
+  w.u32(1u << 20); // children count far beyond the remaining bytes
+  const Bytes reframed = frame(static_cast<std::uint8_t>(RecordType::kAccessTree), w.view());
+  EXPECT_THROW((void)decode_access_tree(reframed), CodecError);
+}
+
+}  // namespace
+}  // namespace sp::codec

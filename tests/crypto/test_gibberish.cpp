@@ -63,6 +63,26 @@ TEST(Base64, RejectsGarbage) {
   EXPECT_THROW(base64_decode("Zg==Zg=="), std::invalid_argument);  // data after pad
 }
 
+TEST(Base64, RejectsPadInNonFinalPositions) {
+  EXPECT_THROW(base64_decode("Zm=v"), std::invalid_argument);      // pad mid-quantum
+  EXPECT_THROW(base64_decode("Z=9v"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Zg==Zm9v"), std::invalid_argument);  // pad in non-final group
+  EXPECT_THROW(base64_decode("Zm9vZg==Zm8="), std::invalid_argument);
+}
+
+TEST(Base64, RejectsNonCanonicalPaddingBits) {
+  // RFC 4648 §3.5: the bits a padded quantum does not emit must be zero.
+  // "Zg==" and "Zh==" would otherwise both decode to {0x66} — a malleable
+  // encoding, which is exactly what a canonical wire format must refuse.
+  EXPECT_THROW(base64_decode("Zh=="), std::invalid_argument);  // 2-pad, low 4 bits set
+  EXPECT_THROW(base64_decode("QR=="), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Zm9="), std::invalid_argument);  // 1-pad, low 2 bits set
+  EXPECT_THROW(base64_decode("QUJD QR=="), std::invalid_argument);  // last quantum checked
+  // The canonical spellings still decode.
+  EXPECT_EQ(base64_decode("Zg=="), to_bytes("f"));
+  EXPECT_EQ(base64_decode("Zm8="), to_bytes("fo"));
+}
+
 TEST(EvpBytesToKey, Deterministic48Bytes) {
   const Bytes salt = from_hex("0001020304050607");
   const Bytes kiv = evp_bytes_to_key_md5("hunter2", salt);

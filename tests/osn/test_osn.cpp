@@ -210,5 +210,80 @@ TEST(StorageHost, MetricsTrackObjectsBytesAndMisses) {
   EXPECT_EQ(bytes_at_rest.value(), bytes0);
 }
 
+// ---- op-counter correctness sweep (PR 8 satellites): counters move only on
+// the path actually taken, and the adversary surface agrees on its contracts.
+
+TEST(StorageHost, RemoveCountsOnlySuccessfulRemovals) {
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& removes = reg.counter("osn_dh_requests_total", "", {{"op", "remove"}});
+  StorageHost dh;
+  const std::string url = dh.store(to_bytes("blob"));
+
+  const auto removes0 = removes.value();
+  EXPECT_THROW(dh.remove("dh://objects/nonexistent"), std::out_of_range);
+  // The rejected call must not count as a performed removal.
+  EXPECT_EQ(removes.value(), removes0);
+  dh.remove(url);
+  EXPECT_EQ(removes.value(), removes0 + 1);
+}
+
+TEST(StorageHost, TamperThrowsOutOfRangeLikeServiceProvider) {
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& rejected = reg.counter("osn_dh_tamper_rejected_total");
+  StorageHost dh;
+  const std::string url = dh.store(to_bytes("0123"));
+  const auto rejected0 = rejected.value();
+
+  // Out-of-bounds indices throw instead of silently wrapping modulo size —
+  // the same contract as ServiceProvider::tamper_record.
+  EXPECT_THROW(dh.tamper(url, 4), std::out_of_range);
+  EXPECT_THROW(dh.tamper(url, std::numeric_limits<std::size_t>::max()), std::out_of_range);
+  EXPECT_EQ(rejected.value(), rejected0 + 2);
+  EXPECT_EQ(dh.fetch(url), to_bytes("0123"));  // a rejected tamper changes nothing
+
+  // An empty blob has no valid index at all.
+  const std::string empty_url = dh.store({});
+  EXPECT_THROW(dh.tamper(empty_url, 0), std::out_of_range);
+
+  // In range, exactly the requested byte flips.
+  dh.tamper(url, 2);
+  Bytes want = to_bytes("0123");
+  want[2] ^= 0x01;
+  EXPECT_EQ(dh.fetch(url), want);
+  EXPECT_THROW(dh.tamper("dh://objects/nonexistent", 0), std::out_of_range);
+}
+
+TEST(StorageHost, InjectedMissCountsAsFetchAndMiss) {
+  auto& reg = sp::obs::MetricsRegistry::global();
+  auto& fetches = reg.counter("osn_dh_requests_total", "", {{"op", "fetch"}});
+  auto& misses = reg.counter("osn_dh_fetch_miss_total");
+  StorageHost dh;
+  const std::string url = dh.store(to_bytes("payload"));
+
+  net::FaultPlan plan;
+  plan.p_dh_miss = 1.0;
+  const net::FaultInjector injector(plan);
+  auto stream = injector.stream_for_label("miss-metrics");
+
+  const auto fetches0 = fetches.value();
+  const auto misses0 = misses.value();
+  const auto result = dh.try_fetch(url, &stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), net::ServeError::kDhMiss);
+  // An injected miss is still a fetch the host served, and it IS a miss from
+  // the caller's point of view — both counters move.
+  EXPECT_EQ(fetches.value(), fetches0 + 1);
+  EXPECT_EQ(misses.value(), misses0 + 1);
+
+  // Cross-check against the injector's own bookkeeping.
+  EXPECT_EQ(injector.injected(net::FaultKind::kDhMiss), 1u);
+
+  // Fault-free streams serve normally and do not touch the miss counter.
+  const auto clean = dh.try_fetch(url, nullptr);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(fetches.value(), fetches0 + 2);
+  EXPECT_EQ(misses.value(), misses0 + 1);
+}
+
 }  // namespace
 }  // namespace sp::osn
