@@ -43,6 +43,7 @@ enum class RecordType : std::uint8_t {
   kDhBlob = 5,       ///< DH object at rest
   kSegment = 6,      ///< segment-file body (src/storage/segment.cpp)
   kAccessTree = 7,   ///< standalone τ/τ' (rides inside kC2FileSet too)
+  kTraceSpan = 8,    ///< one trace span (codec/trace_records.hpp)
 };
 
 // ------------------------------------------------------------- envelopes

@@ -1,0 +1,138 @@
+#include "codec/trace_records.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "codec/records.hpp"
+
+namespace sp::codec {
+
+namespace {
+
+constexpr std::uint8_t kType = static_cast<std::uint8_t>(RecordType::kTraceSpan);
+
+// Span payload layout (docs/WIRE_FORMAT.md "Trace span"):
+//   u64 trace_hi, u64 trace_lo
+//   u64 span_id,  u64 parent_id (0 = root)
+//   str name
+//   u64 start_ns, u64 end_ns, u32 thread, u8 status
+//   u16 n_attrs,  n × (str key, str value)
+//   u16 n_links,  n × (u64 hi, u64 lo, u64 span)
+
+Bytes span_payload(const obs::TraceId& id, const obs::SpanRecord& span) {
+  Writer w;
+  w.u64(id.hi);
+  w.u64(id.lo);
+  w.u64(span.span_id);
+  w.u64(span.parent_id);
+  w.str(span.name);
+  w.u64(span.start_ns);
+  w.u64(span.end_ns);
+  w.u32(span.thread);
+  w.u8(static_cast<std::uint8_t>(span.status));
+  if (span.attrs.size() > 0xffff || span.links.size() > 0xffff) {
+    throw CodecError("trace span: too many attrs/links");
+  }
+  w.u16(static_cast<std::uint16_t>(span.attrs.size()));
+  for (const auto& [key, value] : span.attrs) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u16(static_cast<std::uint16_t>(span.links.size()));
+  for (const obs::SpanLink& link : span.links) {
+    w.u64(link.trace.hi);
+    w.u64(link.trace.lo);
+    w.u64(link.span);
+  }
+  return w.take();
+}
+
+DecodedTraceSpan span_from_payload(const Frame& f) {
+  if (f.type != kType) throw CodecError("trace span: wrong record type");
+  Reader r(f.payload);
+  DecodedTraceSpan out;
+  out.trace.hi = r.u64();
+  out.trace.lo = r.u64();
+  out.span.span_id = r.u64();
+  out.span.parent_id = r.u64();
+  out.span.name = r.str();
+  out.span.start_ns = r.u64();
+  out.span.end_ns = r.u64();
+  out.span.thread = r.u32();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(obs::SpanStatus::kTerminal)) {
+    throw CodecError("trace span: unknown status");
+  }
+  out.span.status = static_cast<obs::SpanStatus>(status);
+  const std::uint16_t n_attrs = r.u16();
+  out.span.attrs.reserve(n_attrs);
+  for (std::uint16_t i = 0; i < n_attrs; ++i) {
+    std::string name = r.str();
+    std::string value = r.str();
+    out.span.attrs.emplace_back(std::move(name), std::move(value));
+  }
+  const std::uint16_t n_links = r.u16();
+  out.span.links.reserve(n_links);
+  for (std::uint16_t i = 0; i < n_links; ++i) {
+    obs::SpanLink link;
+    link.trace.hi = r.u64();
+    link.trace.lo = r.u64();
+    link.span = r.u64();
+    out.span.links.push_back(link);
+  }
+  r.expect_done("trace span");
+  return out;
+}
+
+struct IdHash {
+  std::size_t operator()(const obs::TraceId& id) const {
+    return static_cast<std::size_t>(id.hi ^ (id.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace
+
+Bytes encode_trace_span(const obs::TraceId& id, const obs::SpanRecord& span) {
+  return frame(kType, span_payload(id, span));
+}
+
+DecodedTraceSpan decode_trace_span(std::span<const std::uint8_t> data) {
+  return span_from_payload(unframe(data));
+}
+
+Bytes encode_trace_dump(std::span<const obs::TraceData> traces) {
+  Bytes out;
+  for (const obs::TraceData& trace : traces) {
+    for (const obs::SpanRecord& span : trace.spans) {
+      const Bytes framed = encode_trace_span(trace.id, span);
+      out.insert(out.end(), framed.begin(), framed.end());
+    }
+  }
+  return out;
+}
+
+std::vector<obs::TraceData> decode_trace_dump(std::span<const std::uint8_t> data) {
+  std::vector<obs::TraceData> traces;
+  std::unordered_map<obs::TraceId, std::size_t, IdHash> index;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::optional<Frame> f = try_unframe_prefix(data, off);
+    if (!f.has_value()) break;  // torn tail — keep the intact prefix
+    DecodedTraceSpan decoded = span_from_payload(*f);
+    auto [it, inserted] = index.try_emplace(decoded.trace, traces.size());
+    if (inserted) {
+      traces.emplace_back();
+      traces.back().id = decoded.trace;
+    }
+    obs::TraceData& trace = traces[it->second];
+    if (decoded.span.status != obs::SpanStatus::kOk) trace.errored = true;
+    if (decoded.span.parent_id == 0) {
+      trace.root_name = decoded.span.name;
+      trace.duration_ms = decoded.span.duration_ms();
+    }
+    trace.spans.push_back(std::move(decoded.span));
+  }
+  return traces;
+}
+
+}  // namespace sp::codec

@@ -1,0 +1,44 @@
+// Binary trace-dump codec (RecordType::kTraceSpan, docs/WIRE_FORMAT.md).
+//
+// A dump is a plain concatenation of one frame per span — the same
+// stream-of-frames shape as the WAL, so sp_trace can recover the intact
+// prefix of a truncated dump with try_unframe_prefix instead of losing the
+// whole file to one torn tail. Trace membership is encoded per span (the
+// 128-bit trace id leads every payload); the decoder regroups spans into
+// TraceData, re-deriving the root fields, so a dump round-trips through
+// encode/decode back to equal span sets.
+//
+// This lives in codec (not obs) to keep the dependency arrow pointing one
+// way: codec → obs is fine, obs → codec would cycle through abe/ec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/wire.hpp"
+#include "obs/trace.hpp"
+
+namespace sp::codec {
+
+/// One span of trace `id` as a complete frame.
+[[nodiscard]] Bytes encode_trace_span(const obs::TraceId& id, const obs::SpanRecord& span);
+
+/// Decodes exactly one kTraceSpan frame spanning the whole input.
+/// Returns the owning trace id + the span; throws CodecError on mismatch.
+struct DecodedTraceSpan {
+  obs::TraceId trace;
+  obs::SpanRecord span;
+};
+[[nodiscard]] DecodedTraceSpan decode_trace_span(std::span<const std::uint8_t> data);
+
+/// Frames every span of every trace, in order — the .sptrace dump format.
+[[nodiscard]] Bytes encode_trace_dump(std::span<const obs::TraceData> traces);
+
+/// Parses a dump back into traces (grouped by id, first-appearance order;
+/// root_name/duration/errored re-derived from the spans). Stops cleanly at
+/// a torn tail like WAL replay; throws CodecError only when a structurally
+/// valid frame has the wrong type or a malformed payload.
+[[nodiscard]] std::vector<obs::TraceData> decode_trace_dump(std::span<const std::uint8_t> data);
+
+}  // namespace sp::codec

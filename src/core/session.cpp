@@ -360,6 +360,14 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
 
 AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
                              const Knowledge& knowledge, const net::DeviceProfile& device) const {
+  // Root-or-child: a direct access() call roots its own trace; one made
+  // inside access_with_retries' attempt context nests under that attempt.
+  const obs::TraceContext enclosing = obs::Tracer::current();
+  obs::Span root = enclosing.sampled() ? obs::Span(enclosing, "sp.access")
+                                       : obs::Tracer::global().start_trace("sp.access");
+  const obs::TraceContext trace = root.context();
+  const obs::ContextGuard trace_guard(trace);
+  if (root.recording()) root.add_attr("receiver", static_cast<std::int64_t>(receiver));
   // Shared for the whole request: many accesses proceed in parallel, while
   // refresh (exclusive) waits for in-flight requests and blocks new ones.
   const sp::SharedLock registry_lock(puzzles_mutex_);
@@ -382,20 +390,34 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
   if (injector_) fault_tape = injector_->stream(receiver, post_id);
   net::FaultStream* faults = fault_tape ? &*fault_tape : nullptr;
   const bool is_c1 = stored.kind == SchemeKind::kConstruction1;
+  if (root.recording()) root.add_attr("scheme", is_c1 ? "c1" : "c2");
   CpuTimer wall;
   const AccessResult result =
-      is_c1 ? access_c1(stored, knowledge, ledger, op_rng, faults)
-            : access_c2(stored, knowledge, ledger, op_rng, faults);
+      is_c1 ? access_c1(stored, knowledge, ledger, op_rng, faults, trace)
+            : access_c2(stored, knowledge, ledger, op_rng, faults, trace);
   // End-to-end outcome series. `success()` (granted AND object recovered) is
   // the label, so a granted-but-tampered request counts as denied here.
+  // Exemplar-carrying observe: when this request is traced, the latency
+  // sample remembers which trace explains it (zero trace id = plain observe).
   const double elapsed = wall.elapsed_ms();
+  const obs::TraceId tid = trace.trace_id();
   SessionMetrics& metrics = SessionMetrics::get();
   if (is_c1) {
     (result.success() ? metrics.c1_granted : metrics.c1_denied).inc();
-    (result.success() ? metrics.c1_granted_ms : metrics.c1_denied_ms).observe(elapsed);
+    (result.success() ? metrics.c1_granted_ms : metrics.c1_denied_ms)
+        .observe_exemplar(elapsed, tid.hi, tid.lo);
   } else {
     (result.success() ? metrics.c2_granted : metrics.c2_denied).inc();
-    (result.success() ? metrics.c2_granted_ms : metrics.c2_denied_ms).observe(elapsed);
+    (result.success() ? metrics.c2_granted_ms : metrics.c2_denied_ms)
+        .observe_exemplar(elapsed, tid.hi, tid.lo);
+  }
+  if (root.recording()) {
+    root.add_attr("granted", result.granted ? "true" : "false");
+    if (result.error) {
+      root.add_attr("error", net::to_string(*result.error));
+      root.set_status(net::is_transient(*result.error) ? obs::SpanStatus::kTransientFault
+                                                       : obs::SpanStatus::kTerminal);
+    }
   }
   return result;
 }
@@ -403,7 +425,17 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
 AccessResult Session::access_with_retries(osn::UserId receiver, const std::string& post_id,
                                           const Knowledge& knowledge,
                                           const net::DeviceProfile& device, int max_draws) const {
+  obs::Span root = obs::Tracer::global().start_trace("sp.request");
+  return access_with_retries_impl(receiver, post_id, knowledge, device, max_draws, root);
+}
+
+AccessResult Session::access_with_retries_impl(osn::UserId receiver, const std::string& post_id,
+                                               const Knowledge& knowledge,
+                                               const net::DeviceProfile& device, int max_draws,
+                                               obs::Span& root) const {
   if (max_draws < 1) throw std::invalid_argument("access_with_retries: max_draws >= 1");
+  if (root.recording()) root.add_attr("receiver", static_cast<std::int64_t>(receiver));
+  const obs::TraceContext root_ctx = root.context();
   SessionMetrics& metrics = SessionMetrics::get();
   const net::RetryPolicy& policy = config_.retry;
   // Backoff jitter replays with the fault schedule (seeded, per-request),
@@ -420,11 +452,18 @@ AccessResult Session::access_with_retries(osn::UserId receiver, const std::strin
   int fault_retries = 0;  // transient-fault retries spent
   for (;;) {
     ++attempts;
+    // One child span per attempt: the full retry/fault chain is readable off
+    // the exported trace (chaos tests pin this shape).
+    obs::Span attempt(root_ctx, "sp.attempt");
+    if (attempt.recording()) attempt.add_attr("attempt", static_cast<std::int64_t>(attempts));
+    const obs::ContextGuard attempt_guard(attempt.context());
     result = access(receiver, post_id, knowledge, device);
     total.merge(result.cost);
     if (result.success()) break;
 
     if (result.error && net::is_transient(*result.error)) {
+      attempt.set_status(obs::SpanStatus::kTransientFault);
+      attempt.add_attr("fault", net::to_string(*result.error));
       // Infrastructure blip: retry under the policy's attempt/deadline budget.
       if (attempts >= policy.max_attempts) break;
       const double unit = jitter_tape ? jitter_tape->jitter_unit(
@@ -434,24 +473,39 @@ AccessResult Session::access_with_retries(osn::UserId receiver, const std::strin
       if (total.total_ms() + wait > policy.deadline_ms) {
         result.error = net::ServeError::kDeadlineExceeded;
         metrics.deadline_exceeded.inc();
+        attempt.set_status(obs::SpanStatus::kTerminal);
+        attempt.add_attr("deadline", "exceeded");
         break;
       }
+      attempt.add_attr("backoff_ms", wait);
       total.add_wait(wait);
       ++fault_retries;
       metrics.retries_fault.inc();
       continue;
     }
-    if (result.error) break;  // terminal fault — retrying cannot help
+    if (result.error) {
+      attempt.set_status(obs::SpanStatus::kTerminal);
+      attempt.add_attr("fault", net::to_string(*result.error));
+      break;  // terminal fault — retrying cannot help
+    }
 
     // Clean denial: C1's DisplayPuzzle drew an unlucky question subset; a
     // fresh draw may cover the receiver's knowledge.
     if (draws >= max_draws) break;
     ++draws;
+    attempt.add_attr("redraw", "true");
     metrics.access_retried.inc();
     metrics.retries_draw.inc();
   }
   result.cost = total;
   result.attempts = attempts;
+  if (root.recording()) {
+    root.add_attr("attempts", static_cast<std::int64_t>(attempts));
+    if (!result.success() && result.error) {
+      root.set_status(net::is_transient(*result.error) ? obs::SpanStatus::kTransientFault
+                                                       : obs::SpanStatus::kTerminal);
+    }
+  }
   (result.success() ? metrics.access_granted : metrics.access_denied).inc();
   return result;
 }
@@ -471,13 +525,21 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
     // whole batch.
     ThreadPool pool(num_threads, 2 * num_threads);
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      pool.submit([this, &requests, &results, &errors, i] {
+      // The request's trace roots HERE, at submit time, and the root context
+      // is installed around submit() so the pool's queue-wait and execution
+      // spans land inside this request's trace. The worker lambda owns the
+      // root via shared_ptr: it ends when the lambda is destroyed, which the
+      // pool guarantees happens after its pool.task span ended — the root
+      // finishes last, so no child is sealed out as a straggler.
+      auto root = std::make_shared<obs::Span>(obs::Tracer::global().start_trace("sp.request"));
+      const obs::ContextGuard guard(root->context());
+      pool.submit([this, &requests, &results, &errors, i, root] {
         try {
           const AccessRequest& req = requests[i];
           // Through the retry loop, so batch serving survives transient
           // faults the same way sequential serving does.
-          results[i] = access_with_retries(req.receiver, req.post_id, req.knowledge, req.device,
-                                           req.max_draws);
+          results[i] = access_with_retries_impl(req.receiver, req.post_id, req.knowledge,
+                                                req.device, req.max_draws, *root);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -493,7 +555,8 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
 
 AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
                                 net::CostLedger& ledger, crypto::Drbg& rng,
-                                net::FaultStream* faults) const {
+                                net::FaultStream* faults,
+                                const obs::TraceContext& trace) const {
   const Puzzle& puzzle = *stored.puzzle;
   SessionMetrics& metrics = SessionMetrics::get();
   AccessResult result;
@@ -512,9 +575,11 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   };
 
   // -- SP: DisplayPuzzle; network: challenge download -------------------
+  obs::Span display_tspan(trace, "c1.display");
   obs::TraceSpan display_span(metrics.c1_display);
   const auto challenge = Construction1::display_puzzle(puzzle, rng);
   display_span.stop();
+  display_tspan.end();
   if (const auto err = exchange(challenge.wire_size(), 1)) {
     result.error = err;
     result.cost = ledger;
@@ -522,9 +587,11 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: AnswerPuzzle (hashing) ----------------------------
+  obs::Span answer_tspan(trace, "c1.answer_hashes");
   obs::TraceSpan answer_span(metrics.c1_answer_hashes, ledger);
   const auto response = Construction1::answer_puzzle(challenge, knowledge);
   answer_span.stop();
+  answer_tspan.end();
 
   // -- SP availability: a transient outage drops the Verify exchange; the
   //    receiver still paid for the response upload it sent into the void.
@@ -539,9 +606,16 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   // -- network: response up, reply down (one exchange) -------------------
   // The SP's observation log gets everything the receiver sends.
   for (const Bytes& h : response.hashes) sp_.observe("c1-response-hash", h);
+  obs::Span verify_tspan(trace, "sp.verify");
   obs::TraceSpan verify_span(metrics.sp_verify);
-  auto reply = Construction1::verify(puzzle, challenge, response.hashes, verify_queue_.get());
+  // Verify batches its check set through the shared queue; the guard makes
+  // this span the parent of the batch's verify.wait/verify.job spans.
+  auto reply = [&] {
+    const obs::ContextGuard verify_guard(verify_tspan.context());
+    return Construction1::verify(puzzle, challenge, response.hashes, verify_queue_.get());
+  }();
   verify_span.stop();
+  verify_tspan.end();
   if (const auto err = exchange(response.wire_size() + reply.wire_size(), 1)) {
     result.error = err;
     result.cost = ledger;
@@ -568,11 +642,13 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: verify the sharer's signature on (URL, k, K_Z) ----
+  obs::Span sig_tspan(trace, "c1.sig_verify");
   obs::TraceSpan sig_span(metrics.c1_sig_verify, ledger);
   Puzzle verified_view = puzzle;  // fields as received from the SP
   verified_view.url = reply.url;
   const bool sig_ok = c1_->verify_puzzle_signature(verified_view);
   sig_span.stop();
+  sig_tspan.end();
   if (!sig_ok) {
     result.granted = false;
     result.cost = ledger;
@@ -582,10 +658,12 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   // -- network: download O_{K_O} from the DH -----------------------------
   Bytes encrypted;
   {
+    obs::Span fetch_tspan(trace, "dh.fetch");
     const obs::TraceSpan fetch_span(metrics.dh_fetch);
     net::Expected<Bytes> fetched = dh_.try_fetch(reply.url, faults);
     if (!fetched.ok()) {
       // Injected miss, or a malicious SP pointing at a missing object.
+      fetch_tspan.set_status(obs::SpanStatus::kTransientFault);
       result.error = fetched.error();
       result.cost = ledger;
       return result;
@@ -599,6 +677,7 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: Access (unblind, Lagrange, decrypt) --------------
+  obs::Span access_tspan(trace, "c1.interpolate");
   obs::TraceSpan access_span(metrics.c1_interpolate, ledger);
   try {
     result.object = c1_->access(puzzle, challenge, reply, knowledge, encrypted);
@@ -606,6 +685,7 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
     result.object = std::nullopt;  // delivered bytes too mangled to parse
   }
   access_span.stop();
+  access_tspan.end();
   // Granted but undecryptable = the delivered bytes are bad (injected
   // corruption or a tampering host), never a silent empty object.
   if (!result.object) result.error = net::ServeError::kCorruptedBlob;
@@ -615,7 +695,8 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
 
 AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
                                 net::CostLedger& ledger, crypto::Drbg& rng,
-                                net::FaultStream* faults) const {
+                                net::FaultStream* faults,
+                                const obs::TraceContext& trace) const {
   const auto& files = *stored.c2_files;
   SessionMetrics& metrics = SessionMetrics::get();
   AccessResult result;
@@ -631,9 +712,11 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   };
 
   // -- network: download details (τ' questions) --------------------------
+  obs::Span display_tspan(trace, "c2.display");
   obs::TraceSpan display_span(metrics.c2_display);
   const auto challenge = Construction2::display_puzzle(files.perturbed_tree, files.threshold);
   display_span.stop();
+  display_tspan.end();
   if (const auto err = exchange(challenge.wire_size(), 1)) {
     result.error = err;
     result.cost = ledger;
@@ -641,9 +724,11 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: hash answers --------------------------------------
+  obs::Span answer_tspan(trace, "c2.answer_hashes");
   obs::TraceSpan answer_span(metrics.c2_answer_hashes, ledger);
   const auto response = Construction2::answer_puzzle(challenge, knowledge);
   answer_span.stop();
+  answer_tspan.end();
 
   // -- SP availability (same semantics as C1's Verify exchange) ----------
   if (!sp_.serve_ok(faults)) {
@@ -657,10 +742,15 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   for (const std::string& h : response.answer_hashes) {
     sp_.observe("c2-response-hash", crypto::to_bytes(h));
   }
+  obs::Span verify_tspan(trace, "sp.verify");
   obs::TraceSpan verify_span(metrics.sp_verify);
-  const auto reply = Construction2::verify(files.perturbed_tree, files.threshold, challenge,
-                                           response, stored.url, verify_queue_.get());
+  const auto reply = [&] {
+    const obs::ContextGuard verify_guard(verify_tspan.context());
+    return Construction2::verify(files.perturbed_tree, files.threshold, challenge, response,
+                                 stored.url, verify_queue_.get());
+  }();
   verify_span.stop();
+  verify_tspan.end();
   if (const auto err = exchange(response.wire_size() + reply.wire_size(files), 1)) {
     result.error = err;
     result.cost = ledger;
@@ -678,9 +768,11 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   constexpr int kColdCurlRoundTrips = 3;
   Bytes ciphertext;
   {
+    obs::Span fetch_tspan(trace, "dh.fetch");
     const obs::TraceSpan fetch_span(metrics.dh_fetch);
     net::Expected<Bytes> fetched = dh_.try_fetch(reply.url, faults);
     if (!fetched.ok()) {
+      fetch_tspan.set_status(obs::SpanStatus::kTransientFault);
       result.error = fetched.error();
       result.cost = ledger;
       return result;
@@ -704,14 +796,18 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
+  obs::Span access_tspan(trace, "c2.access");
   obs::TraceSpan access_span(metrics.c2_access, ledger);
   try {
+    // Batched CP-ABE leaf pairings run through the queue; parent them here.
+    const obs::ContextGuard access_guard(access_tspan.context());
     result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng,
                                 verify_queue_->runner());
   } catch (const std::exception&) {
     result.object = std::nullopt;  // delivered bytes too mangled to parse
   }
   access_span.stop();
+  access_tspan.end();
   if (!result.object) result.error = net::ServeError::kCorruptedBlob;
   result.cost = ledger;
   return result;

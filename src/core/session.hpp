@@ -26,6 +26,7 @@
 #include "core/verify_queue.hpp"
 #include "net/faults.hpp"
 #include "net/simnet.hpp"
+#include "obs/trace.hpp"
 #include "osn/service_provider.hpp"
 #include "osn/social_graph.hpp"
 #include "osn/storage_host.hpp"
@@ -193,15 +194,28 @@ class Session {
   /// exclusively owned by the calling operation — no further locking.
   crypto::Drbg fork_rng(const std::string& label) const SP_EXCLUDES(rng_mutex_);
 
+  /// Body of access_with_retries under an externally owned root span:
+  /// access_parallel pre-creates each request's "sp.request" root at submit
+  /// time (so pool queue-wait spans land inside the request's trace) and
+  /// the worker lambda keeps it alive until the pool's execution span has
+  /// ended — the root must end last or pool.task would be sealed out.
+  AccessResult access_with_retries_impl(osn::UserId receiver, const std::string& post_id,
+                                        const Knowledge& knowledge,
+                                        const net::DeviceProfile& device, int max_draws,
+                                        obs::Span& root) const;
+
   // Both take `stored` as a reference into puzzles_, so the caller must keep
   // the registry shared-locked for the whole call — annotated, so Clang
   // rejects any future path that drops the lock before the access finishes.
+  // `trace` is the request's span context; phase spans attach under it.
   AccessResult access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng,
-                         net::FaultStream* faults) const SP_REQUIRES_SHARED(puzzles_mutex_);
+                         net::CostLedger& ledger, crypto::Drbg& rng, net::FaultStream* faults,
+                         const obs::TraceContext& trace) const
+      SP_REQUIRES_SHARED(puzzles_mutex_);
   AccessResult access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                         net::CostLedger& ledger, crypto::Drbg& rng,
-                         net::FaultStream* faults) const SP_REQUIRES_SHARED(puzzles_mutex_);
+                         net::CostLedger& ledger, crypto::Drbg& rng, net::FaultStream* faults,
+                         const obs::TraceContext& trace) const
+      SP_REQUIRES_SHARED(puzzles_mutex_);
 
   SessionConfig config_;
   ec::Curve curve_;

@@ -80,6 +80,10 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::submit(std::function<void()> task) {
   PoolMetrics& metrics = PoolMetrics::get();
+  QueuedTask item;
+  item.fn = std::move(task);
+  item.ctx = obs::Tracer::current();  // one TLS read when tracing is off
+  if (item.ctx.sampled()) item.enqueue_ns = obs::Tracer::now_ns();
   {
     sp::MutexLock lock(mutex_);
     while (queue_.size() >= queue_capacity_ && !stopping_) queue_has_space_.wait(lock);
@@ -89,7 +93,7 @@ void ThreadPool::submit(std::function<void()> task) {
       metrics.rejected.inc();
       throw std::runtime_error("ThreadPool::submit: pool is shutting down");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
     ++pending_;
   }
   metrics.tasks.inc();
@@ -115,12 +119,12 @@ std::size_t ThreadPool::in_flight() const {
 void ThreadPool::worker_loop() {
   PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask item;
     {
       sp::MutexLock lock(mutex_);
       while (queue_.empty() && !stopping_) queue_has_work_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
     metrics.queue_depth.sub(1);
@@ -128,7 +132,21 @@ void ThreadPool::worker_loop() {
     queue_has_space_.notify_one();
     {
       obs::TraceSpan span(metrics.task_ms);
-      task();
+      if (item.ctx.sampled()) {
+        // Queue wait as its own span (enqueue → pop), then the execution
+        // span, installed as this thread's context so work inside the task
+        // nests under it.
+        obs::Span wait(item.ctx, "pool.wait", item.enqueue_ns);
+        wait.end();
+        obs::Span exec(item.ctx, "pool.task");
+        const obs::ContextGuard guard(exec.context());
+        item.fn();
+        // item.fn is destroyed at the end of this loop iteration, i.e. after
+        // exec has ended — access_parallel relies on that order: its request
+        // root lives inside the callable and must end after pool.task.
+      } else {
+        item.fn();
+      }
     }
     metrics.in_flight.sub(1);
     {

@@ -26,11 +26,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -68,6 +70,16 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const { return num_threads_; }
 
  private:
+  /// A queued task plus the submitter's trace context: the async-propagation
+  /// hop. Workers re-install the context (and record queue wait + execution
+  /// spans in the originating trace) before running the function, so code
+  /// inside the task reaches its request's trace via Tracer::current().
+  struct QueuedTask {
+    std::function<void()> fn;
+    obs::TraceContext ctx;
+    std::uint64_t enqueue_ns = 0;  ///< only stamped when ctx is sampled
+  };
+
   void worker_loop() SP_EXCLUDES(mutex_);
 
   mutable sp::Mutex mutex_;
@@ -75,7 +87,7 @@ class ThreadPool {
   sp::CondVar queue_has_work_;   ///< signaled when a task is pushed
   sp::CondVar all_done_;         ///< signaled when pending_ hits 0
   sp::CondVar join_done_cv_;     ///< signaled once the workers are joined
-  std::deque<std::function<void()>> queue_ SP_GUARDED_BY(mutex_);
+  std::deque<QueuedTask> queue_ SP_GUARDED_BY(mutex_);
   std::size_t queue_capacity_;  ///< immutable after construction
   std::size_t pending_ SP_GUARDED_BY(mutex_) = 0;  ///< queued + executing
   bool stopping_ SP_GUARDED_BY(mutex_) = false;

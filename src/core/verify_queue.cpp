@@ -66,7 +66,15 @@ void VerifyQueue::Batch::add(Job job) {
     ++state_->outstanding;
   }
   ++added_;
-  owner_->enqueue(Task{std::move(job), state_});
+  Task task{std::move(job), state_, obs::Tracer::current(), 0, 0};
+  if (task.ctx.sampled()) {
+    // Reserve the job's span id now so wait()'s span (and any cross-request
+    // viewer) can link to it before the job has even started running.
+    task.reserved_id = obs::reserve_span_id(task.ctx);
+    task.enqueue_ns = obs::Tracer::now_ns();
+    job_links_.push_back(obs::SpanLink{task.ctx.trace_id(), task.reserved_id});
+  }
+  owner_->enqueue(std::move(task));
 }
 
 void VerifyQueue::Batch::wait_done() noexcept {
@@ -90,6 +98,11 @@ void VerifyQueue::Batch::wait() {
   metrics.batches.inc();
   metrics.batch_size.observe(static_cast<double>(added_));
   {
+    obs::Span wait_span(obs::Tracer::current(), "verify.wait");
+    if (wait_span.recording()) {
+      wait_span.add_attr("jobs", static_cast<std::int64_t>(added_));
+      for (const obs::SpanLink& link : job_links_) wait_span.add_link(link);
+    }
     const obs::TraceSpan span(metrics.wait_phase);
     wait_done();
   }
@@ -137,10 +150,25 @@ bool VerifyQueue::run_one() {
   }
   QueueMetrics::get().jobs.inc();
   std::exception_ptr error;
-  try {
-    task.job();
-  } catch (...) {
-    error = std::current_exception();
+  {
+    // The job span lives in the ORIGIN request's trace (start = enqueue
+    // time, so queue wait is visible inside it) under its pre-reserved id.
+    // When a different sampled request help-drains this job, a link to the
+    // runner's span records who actually burned the CPU.
+    obs::Span job_span(task.ctx, "verify.job", task.enqueue_ns, task.reserved_id);
+    if (job_span.recording()) {
+      const obs::TraceContext runner = obs::Tracer::current();
+      if (runner.sampled() && !(runner.trace_id() == task.ctx.trace_id())) {
+        job_span.add_link(runner.trace_id(), runner.span_id());
+      }
+    }
+    const obs::ContextGuard guard(job_span.context());
+    try {
+      task.job();
+    } catch (...) {
+      error = std::current_exception();
+      job_span.set_status(obs::SpanStatus::kTransientFault);
+    }
   }
   const sp::MutexLock lock(task.state->mutex);
   if (error && !task.state->first_error) task.state->first_error = error;

@@ -28,13 +28,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -95,6 +98,10 @@ class VerifyQueue {
     std::shared_ptr<BatchState> state_;
     std::size_t added_ = 0;
     bool waited_ = false;
+    /// Pre-reserved span ids of this batch's jobs: wait()'s verify.wait span
+    /// links to every contributing job span, even those still unrecorded
+    /// (reserve_span_id allocates the id before the job runs).
+    std::vector<obs::SpanLink> job_links_;
   };
 
   /// Opens a new batch bound to this queue.
@@ -119,6 +126,9 @@ class VerifyQueue {
   struct Task {
     Job job;
     std::shared_ptr<BatchState> state;
+    obs::TraceContext ctx;           ///< origin request's context at add()
+    std::uint64_t reserved_id = 0;   ///< pre-reserved verify.job span id
+    std::uint64_t enqueue_ns = 0;    ///< queue-entry time (sampled tasks)
   };
 
   void enqueue(Task task) SP_EXCLUDES(mutex_);

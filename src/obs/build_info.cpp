@@ -1,0 +1,77 @@
+#include "obs/build_info.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+// Fallbacks keep this file compiling standalone (clang-tidy, IDE parses)
+// even when the CMake definitions are absent.
+#ifndef SP_BUILD_VERSION
+#define SP_BUILD_VERSION "unknown"
+#endif
+#ifndef SP_BUILD_GIT_SHA
+#define SP_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef SP_BUILD_COMPILER
+#define SP_BUILD_COMPILER "unknown"
+#endif
+#ifndef SP_BUILD_SANITIZER
+#define SP_BUILD_SANITIZER "none"
+#endif
+
+namespace sp::obs {
+
+namespace {
+
+/// Clamp an arbitrary build string to the registry's label-value contract
+/// (1..64 chars of [A-Za-z0-9_.\-/:]) so registration can never throw on an
+/// exotic compiler version or sanitizer spelling.
+std::string sanitize_label(const char* raw) {
+  std::string out;
+  for (const char* p = raw; *p != '\0' && out.size() < 64; ++p) {
+    const char c = *p;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.' || c == '-' || c == '/' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "unknown";
+  return out;
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      sanitize_label(SP_BUILD_VERSION),
+      sanitize_label(SP_BUILD_GIT_SHA),
+      sanitize_label(SP_BUILD_COMPILER),
+      sanitize_label(SP_BUILD_SANITIZER),
+  };
+  return info;
+}
+
+void register_build_metrics(MetricsRegistry& registry) {
+  process_start();  // pin "uptime zero" to registration, not first scrape
+  const BuildInfo& info = build_info();
+  Gauge& build = registry.gauge(
+      "sp_build_info", "Build identity; value is always 1, identity lives in the labels",
+      Labels{{"version", info.version},
+             {"git_sha", info.git_sha},
+             {"compiler", info.compiler},
+             {"sanitizer", info.sanitizer}});
+  build.set(1);
+  Gauge& uptime =
+      registry.gauge("sp_uptime_seconds", "Seconds since metrics registration in this process");
+  registry.add_scrape_hook([&build, &uptime] {
+    const auto elapsed = std::chrono::steady_clock::now() - process_start();
+    uptime.set(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count());
+    build.set(1);  // survive a bench-harness reset()
+  });
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,34 @@
+// Process identity as metrics: the sp_build_info gauge (value fixed at 1,
+// identity in the labels — the Prometheus convention for joining any other
+// series to a build) plus an uptime gauge refreshed at scrape time.
+//
+// Values are baked in at compile time via SP_BUILD_* definitions set by
+// src/obs/CMakeLists.txt (version, git sha, compiler, sanitizer flags) and
+// sanitized here to the registry's label-value charset, so a weird branch
+// name or compiler string can never make registration throw.
+#pragma once
+
+#include <string>
+
+namespace sp::obs {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  std::string version;    ///< project version (CMake PROJECT_VERSION)
+  std::string git_sha;    ///< short commit hash, "unknown" outside a checkout
+  std::string compiler;   ///< e.g. "GNU-13.2.0"
+  std::string sanitizer;  ///< SP_SANITIZE cache value, "none" when off
+};
+
+/// The compile-time identity of this binary (post label-sanitization).
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Registers sp_build_info{version,git_sha,compiler,sanitizer} = 1 and
+/// sp_uptime_seconds in `registry`, plus a scrape hook that refreshes the
+/// uptime and re-asserts the info gauge (so a bench-harness reset() cannot
+/// leave the identity series reading 0). MetricsRegistry::global() calls
+/// this once; private test registries may call it themselves.
+void register_build_metrics(MetricsRegistry& registry);
+
+}  // namespace sp::obs

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/build_info.hpp"
+
 namespace sp::obs {
 
 namespace detail {
@@ -75,15 +77,101 @@ std::string canonical_labels(Labels labels) {
 }
 
 std::string json_escape(const std::string& s) {
-  // Validated charsets exclude everything needing escapes, but the help
-  // strings are free text — escape the two characters that matter.
+  // Registration-time charsets exclude everything needing escapes from
+  // names and label values, but help strings are free text and the emitter
+  // must stay valid JSON regardless — full RFC 8259 escaping, control
+  // characters included.
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+/// Prometheus text-format HELP escaping: backslash and newline only (the
+/// spec leaves quotes bare outside label values).
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+/// Registration rejects these characters today; escaping at emission keeps
+/// the exposition well-formed even if the charset is ever widened.
+std::string prom_escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Exposition-side label body `a="x",b="y"` with escaped values. Distinct
+/// from canonical_labels (the raw map key fixed at registration).
+std::string prom_label_body(const Labels& labels) {
+  std::string out;
+  for (const auto& label : labels) {
+    if (!out.empty()) out.push_back(',');
+    out += label.first + "=\"" + prom_escape_label_value(label.second) + "\"";
+  }
+  return out;
+}
+
+std::string hex32(std::uint64_t hi, std::uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
 }
 
 }  // namespace
@@ -123,6 +211,40 @@ void Histogram::observe(double value_ms) {
   while (micros > seen &&
          !max_micros_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::observe_exemplar(double value_ms, std::uint64_t trace_hi,
+                                 std::uint64_t trace_lo) {
+  observe(value_ms);
+  if ((trace_hi | trace_lo) == 0) return;
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (!(value_ms >= 0)) value_ms = 0;
+  const auto micros = static_cast<std::uint64_t>(std::llround(value_ms * 1000.0));
+  // Keep the largest observation: exemplars exist to explain the outlier a
+  // scrape's max/p99 shows, so smaller candidates don't displace it.
+  if (micros < ex_micros_.load(std::memory_order_relaxed)) return;
+  std::uint64_t seq = ex_seq_.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0) return;  // concurrent writer owns the slot; drop this candidate
+  if (!ex_seq_.compare_exchange_strong(seq, seq + 1, std::memory_order_acquire)) return;
+  ex_micros_.store(micros, std::memory_order_relaxed);
+  ex_hi_.store(trace_hi, std::memory_order_relaxed);
+  ex_lo_.store(trace_lo, std::memory_order_relaxed);
+  ex_seq_.store(seq + 2, std::memory_order_release);
+}
+
+std::optional<Histogram::Exemplar> Histogram::exemplar() const {
+  for (int tries = 0; tries < 16; ++tries) {
+    const std::uint64_t s1 = ex_seq_.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) continue;
+    const std::uint64_t micros = ex_micros_.load(std::memory_order_relaxed);
+    const std::uint64_t hi = ex_hi_.load(std::memory_order_relaxed);
+    const std::uint64_t lo = ex_lo_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (ex_seq_.load(std::memory_order_relaxed) != s1) continue;
+    if ((hi | lo) == 0) return std::nullopt;
+    return Exemplar{static_cast<double>(micros) / 1000.0, hi, lo};
+  }
+  return std::nullopt;  // writer storm; a later scrape will win
 }
 
 std::uint64_t Histogram::count() const {
@@ -192,6 +314,11 @@ void Histogram::reset() {
     }
   }
   max_micros_.store(0, std::memory_order_relaxed);
+  // reset() is documented quiesced-only, so a plain sweep of the exemplar
+  // slot (leaving the sequence even) is safe.
+  ex_micros_.store(0, std::memory_order_relaxed);
+  ex_hi_.store(0, std::memory_order_relaxed);
+  ex_lo_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<double> Histogram::default_latency_bounds_ms() {
@@ -224,8 +351,14 @@ std::vector<double> Histogram::linear_bounds(double start, double width, std::si
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: instruments are cached by reference in static
   // structs across the serving stack; a destructed registry would turn
-  // shutdown-path increments into use-after-free.
-  static MetricsRegistry* const instance = new MetricsRegistry();
+  // shutdown-path increments into use-after-free. The global registry also
+  // carries the process identity series (sp_build_info, sp_uptime_seconds)
+  // so every exposition from a real process is attributable to a build.
+  static MetricsRegistry* const instance = [] {
+    auto* r = new MetricsRegistry();
+    register_build_metrics(*r);
+    return r;
+  }();
   return *instance;
 }
 
@@ -343,6 +476,22 @@ void MetricsRegistry::reset() {
   }
 }
 
+void MetricsRegistry::add_scrape_hook(std::function<void()> hook) {
+  const sp::UniqueLock lock(mutex_);
+  scrape_hooks_.push_back(std::move(hook));
+}
+
+void MetricsRegistry::run_scrape_hooks() const {
+  // Copy under the lock, run outside it: hooks set gauges of this registry,
+  // and instrument lookups re-take mutex_.
+  std::vector<std::function<void()>> hooks;
+  {
+    const sp::SharedLock lock(mutex_);
+    hooks = scrape_hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
 std::size_t MetricsRegistry::series_count() const {
   const sp::SharedLock lock(mutex_);
   std::size_t total = 0;
@@ -351,16 +500,18 @@ std::size_t MetricsRegistry::series_count() const {
 }
 
 std::string MetricsRegistry::to_prometheus() const {
+  run_scrape_hooks();
   const sp::SharedLock lock(mutex_);
   std::string out;
   for (const auto& [name, fam] : families_) {
-    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# HELP " + name + " " + prom_escape_help(fam.help) + "\n";
     out += "# TYPE " + name + " ";
     out += fam.kind == Kind::kCounter ? "counter" : fam.kind == Kind::kGauge ? "gauge"
                                                                              : "histogram";
     out += "\n";
     for (const auto& [id, series] : fam.series) {
-      const std::string braces = id.empty() ? "" : "{" + id + "}";
+      const std::string body = prom_label_body(series.labels);
+      const std::string braces = body.empty() ? "" : "{" + body + "}";
       if (fam.kind == Kind::kCounter) {
         out += name + braces + " " + std::to_string(series.counter->value()) + "\n";
       } else if (fam.kind == Kind::kGauge) {
@@ -372,13 +523,20 @@ std::string MetricsRegistry::to_prometheus() const {
         for (std::size_t b = 0; b < counts.size(); ++b) {
           cum += counts[b];
           const std::string le = b < h.bounds().size() ? num(h.bounds()[b]) : "+Inf";
-          std::string lbl = id;
+          std::string lbl = body;
           if (!lbl.empty()) lbl += ",";
           lbl += "le=\"" + le + "\"";
           out += name + "_bucket{" + lbl + "} " + std::to_string(cum) + "\n";
         }
         out += name + "_sum" + braces + " " + num(h.sum_ms()) + "\n";
         out += name + "_count" + braces + " " + std::to_string(h.count()) + "\n";
+        // The classic text format has no exemplar syntax (that's OpenMetrics);
+        // emit the trace pointer as a comment so scrapes stay parseable while
+        // a human (or sp_trace grep) can still jump from metric to trace.
+        if (const auto ex = h.exemplar()) {
+          out += "# exemplar " + name + braces + " trace_id=" +
+                 hex32(ex->trace_hi, ex->trace_lo) + " value_ms=" + num(ex->value_ms) + "\n";
+        }
       }
     }
   }
@@ -386,6 +544,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 std::string MetricsRegistry::to_json() const {
+  run_scrape_hooks();
   const sp::SharedLock lock(mutex_);
   std::string out = "{\n  \"enabled\": ";
   out += enabled() ? "true" : "false";
@@ -407,7 +566,7 @@ std::string MetricsRegistry::to_json() const {
       for (const auto& label : series.labels) {
         if (!first_label) out += ", ";
         first_label = false;
-        out += "\"" + label.first + "\": \"" + label.second + "\"";
+        out += "\"" + json_escape(label.first) + "\": \"" + json_escape(label.second) + "\"";
       }
       out += "}";
       if (fam.kind == Kind::kCounter) {
@@ -422,6 +581,10 @@ std::string MetricsRegistry::to_json() const {
         out += ", \"p50_ms\": " + num(h.percentile(0.50));
         out += ", \"p95_ms\": " + num(h.percentile(0.95));
         out += ", \"p99_ms\": " + num(h.percentile(0.99));
+        if (const auto ex = h.exemplar()) {
+          out += ", \"exemplar\": {\"trace_id\": \"" + hex32(ex->trace_hi, ex->trace_lo) +
+                 "\", \"value_ms\": " + num(ex->value_ms) + "}";
+        }
         out += ", \"buckets\": [";
         const std::vector<std::uint64_t> counts = h.bucket_counts();
         std::uint64_t cum = 0;

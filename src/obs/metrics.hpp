@@ -33,8 +33,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -135,6 +137,20 @@ class Histogram {
 
   void observe(double value_ms);
 
+  /// Trace-id exemplar: the captured trace behind the largest observation so
+  /// far, so a latency outlier in a scrape points at a concrete span tree
+  /// (OBSERVABILITY.md "Exemplars"). Lock-free seqlock slot; losing a race
+  /// loses one candidate update, never tears a read.
+  struct Exemplar {
+    double value_ms = 0;
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+  };
+  /// observe() + exemplar candidacy. A zero trace id observes without one.
+  void observe_exemplar(double value_ms, std::uint64_t trace_hi, std::uint64_t trace_lo);
+  /// The current exemplar, if any observation carried a trace id.
+  [[nodiscard]] std::optional<Exemplar> exemplar() const;
+
   [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t count() const;
   /// Sum of observed values in ms (microsecond-granular fixed point).
@@ -171,6 +187,12 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<std::uint64_t> max_micros_{0};
+  // Exemplar seqlock: writers CAS the sequence even→odd, store, release
+  // odd→even+2; readers retry on odd or changed sequences.
+  std::atomic<std::uint64_t> ex_seq_{0};
+  std::atomic<std::uint64_t> ex_micros_{0};
+  std::atomic<std::uint64_t> ex_hi_{0};
+  std::atomic<std::uint64_t> ex_lo_{0};
 };
 
 /// Process-wide instrument registry. `global()` is the process singleton the
@@ -210,6 +232,12 @@ class MetricsRegistry {
   /// Number of registered time series (across all families).
   [[nodiscard]] std::size_t series_count() const;
 
+  /// Registers a callback run at the start of every scrape (to_prometheus /
+  /// to_json), outside the registry lock — for gauges derived from ambient
+  /// state at read time (uptime, build info). Hooks must be cheap, must not
+  /// throw, and may only touch instruments of THIS registry.
+  void add_scrape_hook(std::function<void()> hook);
+
   /// Prometheus text exposition format (families sorted by name, series
   /// sorted by label key; numbers via %.10g so integers print bare).
   [[nodiscard]] std::string to_prometheus() const;
@@ -236,10 +264,12 @@ class MetricsRegistry {
 
   Family& family_for(const std::string& name, const std::string& help, Kind kind,
                      const std::vector<double>* bounds) SP_REQUIRES(mutex_);
+  void run_scrape_hooks() const SP_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{true};
   mutable sp::SharedMutex mutex_;  ///< guards the family map, not instrument state
   std::map<std::string, Family> families_ SP_GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> scrape_hooks_ SP_GUARDED_BY(mutex_);
 };
 
 }  // namespace sp::obs

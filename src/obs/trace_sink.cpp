@@ -1,0 +1,259 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace sp::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// Full JSON string escaping (control chars included) — span names and attrs
+/// are code identifiers by contract, but an exporter must not rely on that.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+struct SpanKey {
+  std::uint64_t hi, lo, span;
+  bool operator==(const SpanKey&) const = default;
+};
+struct SpanKeyHash {
+  std::size_t operator()(const SpanKey& k) const {
+    std::uint64_t h = k.hi * 0x9e3779b97f4a7c15ull;
+    h ^= k.lo + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= k.span + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Children of each span, indexed by parent id, in record order.
+std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children_of(
+    const TraceData& trace) {
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> out;
+  for (const SpanRecord& rec : trace.spans) out[rec.parent_id].push_back(&rec);
+  return out;
+}
+
+/// Duration minus the union of child intervals, clamped at 0 — the span's
+/// own contribution to the wall clock. Children running concurrently (pool
+/// fan-out) overlap; merging intervals counts their cover once.
+double self_time_ms(const SpanRecord& rec, const std::vector<const SpanRecord*>* children) {
+  const double total = rec.duration_ms();
+  if (children == nullptr || children->empty()) return total;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  intervals.reserve(children->size());
+  for (const SpanRecord* child : *children) {
+    const std::uint64_t lo = std::max(child->start_ns, rec.start_ns);
+    const std::uint64_t hi = std::min(child->end_ns, rec.end_ns);
+    if (hi > lo) intervals.emplace_back(lo, hi);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t covered = 0, cur_lo = 0, cur_hi = 0;
+  bool open = false;
+  for (const auto& [lo, hi] : intervals) {
+    if (!open || lo > cur_hi) {
+      if (open) covered += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) covered += cur_hi - cur_lo;
+  const double self = total - static_cast<double>(covered) / 1e6;
+  return self > 0 ? self : 0;
+}
+
+}  // namespace
+
+std::string to_chrome_json(std::span<const TraceData> traces) {
+  // Index every span so links can emit both flow endpoints even when the
+  // source lives in a different trace of the same dump.
+  std::unordered_map<SpanKey, const SpanRecord*, SpanKeyHash> index;
+  for (const TraceData& trace : traces) {
+    for (const SpanRecord& rec : trace.spans) {
+      index.emplace(SpanKey{trace.id.hi, trace.id.lo, rec.span_id}, &rec);
+    }
+  }
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t flow_id = 1;
+  const auto emit = [&](const std::string& event) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += event;
+  };
+  for (const TraceData& trace : traces) {
+    const std::string id_hex = trace.id.hex();
+    for (const SpanRecord& rec : trace.spans) {
+      std::string e = "  {\"name\": \"" + json_escape(rec.name) +
+                      "\", \"cat\": \"sp\", \"ph\": \"X\", \"ts\": " +
+                      num(static_cast<double>(rec.start_ns) / 1e3) +
+                      ", \"dur\": " + num(static_cast<double>(rec.end_ns - rec.start_ns) / 1e3) +
+                      ", \"pid\": 1, \"tid\": " + std::to_string(rec.thread) +
+                      ", \"args\": {\"trace_id\": \"" + id_hex + "\", \"span_id\": " +
+                      std::to_string(rec.span_id) + ", \"status\": \"" +
+                      to_string(rec.status) + "\"";
+      for (const auto& [key, value] : rec.attrs) {
+        e += ", \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+      }
+      e += "}}";
+      emit(e);
+      for (const SpanLink& link : rec.links) {
+        const auto src = index.find(SpanKey{link.trace.hi, link.trace.lo, link.span});
+        if (src == index.end()) continue;  // linked trace not in this dump
+        const SpanRecord& s = *src->second;
+        const std::string id = std::to_string(flow_id++);
+        emit("  {\"name\": \"link\", \"cat\": \"sp.link\", \"ph\": \"s\", \"id\": " + id +
+             ", \"ts\": " + num(static_cast<double>(s.end_ns) / 1e3) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(s.thread) + "}");
+        emit("  {\"name\": \"link\", \"cat\": \"sp.link\", \"ph\": \"f\", \"bp\": \"e\", "
+             "\"id\": " + id + ", \"ts\": " + num(static_cast<double>(rec.start_ns) / 1e3) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(rec.thread) + "}");
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_folded_stacks(std::span<const TraceData> traces) {
+  // Aggregate self-time by full name-path; weights are integer microseconds
+  // (flamegraph.pl wants integral sample counts).
+  std::map<std::string, std::uint64_t> weights;
+  for (const TraceData& trace : traces) {
+    const auto children = children_of(trace);
+    const std::function<void(const SpanRecord&, const std::string&)> walk =
+        [&](const SpanRecord& rec, const std::string& prefix) {
+          const std::string path = prefix.empty() ? rec.name : prefix + ";" + rec.name;
+          const auto kids = children.find(rec.span_id);
+          const double self =
+              self_time_ms(rec, kids != children.end() ? &kids->second : nullptr);
+          weights[path] += static_cast<std::uint64_t>(self * 1000.0 + 0.5);
+          if (kids != children.end()) {
+            for (const SpanRecord* child : kids->second) walk(*child, path);
+          }
+        };
+    const auto roots = children.find(0);
+    if (roots != children.end()) {
+      for (const SpanRecord* root : roots->second) walk(*root, "");
+    }
+  }
+  std::string out;
+  for (const auto& [path, weight] : weights) {
+    out += path + " " + std::to_string(weight) + "\n";
+  }
+  return out;
+}
+
+std::vector<PhaseStat> phase_breakdown(std::span<const TraceData> traces) {
+  struct Acc {
+    std::vector<double> durations;
+    double total = 0, self = 0, max = 0;
+  };
+  std::map<std::string, Acc> by_name;
+  for (const TraceData& trace : traces) {
+    const auto children = children_of(trace);
+    for (const SpanRecord& rec : trace.spans) {
+      Acc& acc = by_name[rec.name];
+      const double d = rec.duration_ms();
+      acc.durations.push_back(d);
+      acc.total += d;
+      acc.max = std::max(acc.max, d);
+      const auto kids = children.find(rec.span_id);
+      acc.self += self_time_ms(rec, kids != children.end() ? &kids->second : nullptr);
+    }
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, acc] : by_name) {
+    PhaseStat stat;
+    stat.name = name;
+    stat.count = acc.durations.size();
+    stat.total_ms = acc.total;
+    stat.self_ms = acc.self;
+    stat.max_ms = acc.max;
+    std::sort(acc.durations.begin(), acc.durations.end());
+    stat.p50_ms = acc.durations[acc.durations.size() / 2];
+    out.push_back(std::move(stat));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseStat& a, const PhaseStat& b) { return a.self_ms > b.self_ms; });
+  return out;
+}
+
+std::vector<std::size_t> slowest_traces(std::span<const TraceData> traces, std::size_t n) {
+  std::vector<std::size_t> order(traces.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return traces[a].duration_ms > traces[b].duration_ms;
+  });
+  if (order.size() > n) order.resize(n);
+  return order;
+}
+
+std::string format_trace_tree(const TraceData& trace) {
+  std::string out = "trace " + trace.id.hex() + "  " + trace.root_name + "  " +
+                    num(trace.duration_ms) + " ms" + (trace.errored ? "  [errored]" : "") + "\n";
+  const auto children = children_of(trace);
+  const std::function<void(const SpanRecord&, int)> walk = [&](const SpanRecord& rec,
+                                                               int depth) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += rec.name + "  " + num(rec.duration_ms()) + " ms";
+    if (rec.status != SpanStatus::kOk) out += std::string("  status=") + to_string(rec.status);
+    for (const auto& [key, value] : rec.attrs) out += "  " + key + "=" + value;
+    if (!rec.links.empty()) out += "  links=" + std::to_string(rec.links.size());
+    out += "\n";
+    const auto kids = children.find(rec.span_id);
+    if (kids != children.end()) {
+      for (const SpanRecord* child : kids->second) walk(*child, depth + 1);
+    }
+  };
+  const auto roots = children.find(0);
+  if (roots != children.end()) {
+    for (const SpanRecord* root : roots->second) walk(*root, 1);
+  }
+  return out;
+}
+
+}  // namespace sp::obs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/segment.hpp"
 
 namespace sp::storage {
@@ -157,7 +158,12 @@ DurableStore::Ticket DurableStore::enqueue(const codec::Envelope& env) {
   return writer_->enqueue(codec::encode_envelope(env));
 }
 
-void DurableStore::wait(Ticket ticket) { writer_->wait(ticket); }
+void DurableStore::wait(Ticket ticket) {
+  // Durability stall as seen by the requesting thread — the counterpart of
+  // the writer-side wal.fsync span, attached to the caller's trace.
+  obs::Span wait_span(obs::Tracer::current(), "wal.wait");
+  writer_->wait(ticket);
+}
 
 void DurableStore::append(const codec::Envelope& env) {
   writer_->append(codec::encode_envelope(env));

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sp::storage {
 
@@ -75,10 +76,22 @@ WalWriter::~WalWriter() {
 
 WalWriter::Ticket WalWriter::enqueue(Bytes framed) {
   Ticket ticket = 0;
+  Pending p;
+  p.data = std::move(framed);
+  // Tag the record with the enqueuing request's trace (and mark the enqueue
+  // moment as a zero-ish span in that trace) so the group-commit batch can
+  // link back to it.
+  const obs::TraceContext ctx = obs::Tracer::current();
+  if (ctx.sampled()) {
+    const obs::TraceId id = ctx.trace_id();
+    p.trace_hi = id.hi;
+    p.trace_lo = id.lo;
+    obs::Span enqueue_span(ctx, "wal.enqueue");
+    p.origin_span = enqueue_span.span_id();
+    enqueue_span.end();
+  }
   {
     const sp::MutexLock lock(mutex_);
-    Pending p;
-    p.data = std::move(framed);
     p.seq = ++next_seq_;
     ticket = p.seq;
     queue_.push_back(std::move(p));
@@ -158,16 +171,42 @@ void WalWriter::write_all_or_die(const std::uint8_t* data, std::size_t size) {
 
 void WalWriter::write_batch(std::vector<Pending>& batch) {
   WalMetrics& metrics = WalMetrics::get();
+  // The writer thread has no request context — a group commit serves many.
+  // When any record in the batch came from a sampled request, open a forced
+  // (sampling-exempt) trace whose root links to every sampled origin: the
+  // exported dump then shows request → wal.enqueue → wal.group_commit.
+  obs::Span batch_span;
+  {
+    std::vector<obs::SpanLink> origins;
+    for (const Pending& p : batch) {
+      if ((p.trace_hi | p.trace_lo) != 0) {
+        origins.push_back(obs::SpanLink{obs::TraceId{p.trace_hi, p.trace_lo}, p.origin_span});
+      }
+    }
+    if (!origins.empty()) {
+      batch_span = obs::Tracer::global().start_trace_forced("wal.group_commit");
+      if (batch_span.recording()) {
+        batch_span.add_attr("records", static_cast<std::int64_t>(batch.size()));
+        for (const obs::SpanLink& link : origins) batch_span.add_link(link);
+      }
+    }
+  }
+  const obs::TraceContext batch_ctx = batch_span.context();
   try {
     Bytes buffer;
     std::uint64_t last_seq = 0;
     std::uint64_t records = 0;
     const auto commit_buffer = [&] {
       if (!buffer.empty()) {
+        obs::Span write_span(batch_ctx, "wal.write");
+        if (write_span.recording()) {
+          write_span.add_attr("bytes", static_cast<std::int64_t>(buffer.size()));
+        }
         write_all_or_die(buffer.data(), buffer.size());
         metrics.wal_bytes.inc(buffer.size());
       }
       if (opts_.fsync == Fsync::kBatch) {
+        obs::Span fsync_span(batch_ctx, "wal.fsync");
         const auto t0 = std::chrono::steady_clock::now();
         if (::fdatasync(fd_) != 0) {
           throw std::runtime_error(std::string("fdatasync: ") + std::strerror(errno));
@@ -221,6 +260,7 @@ void WalWriter::write_batch(std::vector<Pending>& batch) {
     }
     commit_buffer();
   } catch (const std::exception& e) {
+    batch_span.set_status(obs::SpanStatus::kTerminal);
     const sp::MutexLock lock(mutex_);
     if (error_.empty()) error_ = e.what();
     durable_cv_.notify_all();

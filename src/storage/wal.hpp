@@ -102,6 +102,12 @@ class WalWriter {
     std::uint64_t seq = 0;
     bool rotate = false;
     std::string rotate_path;
+    // Origin trace of the enqueuing request (zero = untraced). The writer's
+    // group-commit span links back to these, making "which requests did this
+    // fsync cover" a first-class question in a trace dump.
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+    std::uint64_t origin_span = 0;
   };
 
   void worker_loop();

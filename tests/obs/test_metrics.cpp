@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -371,6 +372,131 @@ TEST(TraceSpanTest, DisabledRegistrySkipsHistogramButNotLedger) {
 
 TEST(MetricsTest, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+// ---------------------------------------------------------------------------
+// Exposition escaping (PR 9 satellite): golden outputs for help strings that
+// carry backslashes, quotes and newlines in both formats.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, PrometheusEscapesHelpBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.counter("esc_total", "line1\nline2 \"quoted\" back\\slash").inc();
+  const std::string expected =
+      "# HELP esc_total line1\\nline2 \"quoted\" back\\\\slash\n"
+      "# TYPE esc_total counter\n"
+      "esc_total 1\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
+}
+
+TEST(MetricsTest, JsonEscapesHelpControlCharsAndBackslash) {
+  MetricsRegistry reg;
+  reg.counter("esc_total", "tab\there\nback\\slash \"q\"").inc();
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("tab\\there\\nback\\\\slash \\\"q\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars: the seqlock slot keeping the largest observation's
+// trace id, exposed as a Prometheus comment and a JSON object.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ExemplarKeepsTheLargestObservation) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("latency_ms", "", {1, 10});
+  EXPECT_FALSE(h.exemplar().has_value());
+  h.observe_exemplar(2.0, 0xa, 0xb);
+  h.observe_exemplar(7.0, 0xc, 0xd);
+  h.observe_exemplar(3.0, 0xe, 0xf);
+  const auto ex = h.exemplar();
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->trace_hi, 0xcu);
+  EXPECT_EQ(ex->trace_lo, 0xdu);
+  EXPECT_NEAR(ex->value_ms, 7.0, 1e-3);
+  EXPECT_EQ(h.count(), 3u);  // observe_exemplar still feeds the buckets
+}
+
+TEST(MetricsTest, ExemplarIgnoresInvalidTraceIds) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("latency_ms", "", {1});
+  h.observe_exemplar(9.0, 0, 0);  // untraced outlier: counted, not exemplified
+  EXPECT_FALSE(h.exemplar().has_value());
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsTest, ExemplarAppearsInBothExpositions) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("latency_ms", "", {1, 10}, {{"op", "access"}});
+  h.observe_exemplar(4.0, 0x0123456789abcdefull, 0xfedcba9876543210ull);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# exemplar latency_ms{op=\"access\"} "
+                      "trace_id=0123456789abcdeffedcba9876543210 value_ms=4"),
+            std::string::npos)
+      << prom;
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"exemplar\": {\"trace_id\": "
+                      "\"0123456789abcdeffedcba9876543210\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsTest, ResetClearsTheExemplar) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("latency_ms", "", {1});
+  h.observe_exemplar(5.0, 1, 2);
+  reg.reset();
+  EXPECT_FALSE(h.exemplar().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Build identity metrics + scrape hooks (PR 9 satellite).
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, BuildInfoFieldsAreSanitizedLabelValues) {
+  const sp::obs::BuildInfo& info = sp::obs::build_info();
+  for (const std::string* field :
+       {&info.version, &info.git_sha, &info.compiler, &info.sanitizer}) {
+    EXPECT_FALSE(field->empty());
+    EXPECT_LE(field->size(), 64u);
+    for (const char c : *field) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+                  c == '.' || c == '-' || c == '/' || c == ':')
+          << *field;
+    }
+  }
+}
+
+TEST(MetricsTest, RegisterBuildMetricsExposesInfoAndUptime) {
+  MetricsRegistry reg;
+  sp::obs::register_build_metrics(reg);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("sp_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("compiler=\""), std::string::npos);
+  EXPECT_NE(prom.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(prom.find("sanitizer=\""), std::string::npos);
+  EXPECT_NE(prom.find("version=\""), std::string::npos);
+  EXPECT_NE(prom.find("} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("sp_uptime_seconds"), std::string::npos);
+}
+
+TEST(MetricsTest, BuildInfoSurvivesResetViaScrapeHook) {
+  MetricsRegistry reg;
+  sp::obs::register_build_metrics(reg);
+  reg.reset();  // a bench-harness reset zeroes every series...
+  const std::string prom = reg.to_prometheus();
+  // ...but the scrape hook re-asserts the identity gauge at exposition time.
+  EXPECT_NE(prom.find("} 1\n"), std::string::npos) << prom;
+}
+
+TEST(MetricsTest, ScrapeHooksRunOnBothExpositions) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("hooked_gauge", "");
+  int runs = 0;
+  reg.add_scrape_hook([&g, &runs] { g.set(++runs); });
+  EXPECT_NE(reg.to_prometheus().find("hooked_gauge 1"), std::string::npos);
+  EXPECT_NE(reg.to_json().find("\"value\": 2"), std::string::npos);
 }
 
 }  // namespace

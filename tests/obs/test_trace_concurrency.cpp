@@ -1,0 +1,135 @@
+// Tracer hammers: concurrent producers, cross-thread span finishing and
+// concurrent drains over the lock-free ring collector, plus the histogram
+// exemplar seqlock. The *ConcurrencyHammer suite name puts these under the
+// TSan CI job's filter alongside the serving-stack hammers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using sp::obs::ContextGuard;
+using sp::obs::Span;
+using sp::obs::SpanStatus;
+using sp::obs::TraceContext;
+using sp::obs::Tracer;
+using sp::obs::TracerConfig;
+
+class TraceConcurrencyHammer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tracer = Tracer::global();
+    TracerConfig cfg;
+    cfg.ring_slots = 64;
+    cfg.kept_slots = 64;
+    tracer.configure(cfg);
+    tracer.set_enabled(true);
+    (void)tracer.drain();
+  }
+  void TearDown() override {
+    auto& tracer = Tracer::global();
+    tracer.set_enabled(false);
+    (void)tracer.drain();
+  }
+};
+
+TEST_F(TraceConcurrencyHammer, ProducersAndDrainersRaceWithoutLossBeyondOverwrite) {
+  auto& tracer = Tracer::global();
+  constexpr int kProducers = 4;
+  constexpr int kTracesPerProducer = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> drained{0};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      drained.fetch_add(tracer.drain().size(), std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&tracer, p] {
+      for (int i = 0; i < kTracesPerProducer; ++i) {
+        Span root = tracer.start_trace("hammer");
+        root.add_attr("producer", static_cast<std::int64_t>(p));
+        {
+          Span child(root.context(), "child");
+          if (i % 7 == 0) child.set_status(SpanStatus::kTransientFault);
+          child.end();
+        }
+        root.end();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  drained.fetch_add(tracer.drain().size(), std::memory_order_relaxed);
+
+  // Overwrites may recycle traces, but a drain can never fabricate more
+  // than were produced.
+  EXPECT_LE(drained.load(), static_cast<std::uint64_t>(kProducers) * kTracesPerProducer);
+  EXPECT_GT(drained.load(), 0u);
+}
+
+TEST_F(TraceConcurrencyHammer, ManyThreadsFinishSpansOfOneTrace) {
+  auto& tracer = Tracer::global();
+  constexpr int kWorkers = 8;
+  constexpr int kSpansPerWorker = 200;
+  Span root = tracer.start_trace("shared");
+  ASSERT_TRUE(root.recording());
+  const TraceContext ctx = root.context();
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([ctx, w] {
+      const ContextGuard guard(ctx);
+      for (int i = 0; i < kSpansPerWorker; ++i) {
+        Span s(Tracer::current(), "w" + std::to_string(w));
+        s.end();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  root.end();
+  const auto traces = tracer.drain();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces.front().spans.size(),
+            static_cast<std::size_t>(kWorkers) * kSpansPerWorker + 1);
+}
+
+TEST_F(TraceConcurrencyHammer, ExemplarSeqlockNeverTears) {
+  sp::obs::MetricsRegistry reg;
+  auto& h = reg.histogram("latency_ms", "", {1, 10, 100});
+  std::atomic<bool> stop{false};
+  // Writers always publish hi == lo, so any torn read shows up as hi != lo.
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&h, &stop, w] {
+      std::uint64_t x = 0x1000u + static_cast<std::uint64_t>(w);
+      while (!stop.load(std::memory_order_acquire)) {
+        h.observe_exemplar(static_cast<double>(x % 97), x, x);
+        ++x;
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    if (const auto ex = h.exemplar()) {
+      ASSERT_EQ(ex->trace_hi, ex->trace_lo);
+      ASSERT_NE(ex->trace_hi, 0u);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+}
+
+}  // namespace
