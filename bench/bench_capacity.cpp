@@ -1,0 +1,433 @@
+// Capacity-curve bench (ROADMAP item 4) — the PR 10 headline.
+//
+// For each user-count point (10k / 100k / 1M, lazily generated — no
+// O(users) RAM), drives a Zipf-skewed access stream with refresh/revocation
+// churn (paper §V dynamic context) through a real Session twice: cache-off
+// (the PR 9 serving path) and cache-on (the PR 10 sharded serving cache).
+// Execution is hybrid:
+//   * the Zipf head (the hottest `materialized` ranks) is REAL — real
+//     share/access/refresh/revoke against the session, real cache fills,
+//     hits, epoch bumps and negative markers, with each request's measured
+//     CostLedger giving its (cpu, overlap) decomposition;
+//   * the Zipf tail rides the same ServeCache implementation (its own
+//     instance keyed by rank) for hit/miss decisions, with costs drawn from
+//     the measured per-class cold/warm sample pools — so tail behavior is
+//     the real admission/LRU policy, just not the real crypto every time.
+// The per-event cost series then replays through the virtual-time open-loop
+// M/G/c driver (workload/driver.hpp) at a rate ladder: capacity = the
+// largest offered RPS whose p99 stays inside the SLO. Virtual time is what
+// makes the curve reproducible on a loaded CI runner (no wall sleeps).
+//
+// Reported per point: capacity RPS for both arms, the A/B speedup, the
+// measured cache hit rate, and the p99 at capacity. Acceptance bars
+// (checked in full mode, reported in both): speedup >= 1.5x at the largest
+// point, hit rate > 0, SLO met at the base probe.
+//
+// Usage: bench_capacity [--quick] [--out PATH] [--slo-ms X]
+//   --quick   fewer events per point (CI smoke; same three user counts)
+//   --out     JSON output path (default BENCH_PR10.json)
+//   --slo-ms  p99 SLO; 0 (default) = auto: 1.5x the cache-off no-queue p99
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/serve_cache.hpp"
+#include "core/session.hpp"
+#include "fig10_common.hpp"
+#include "obs/metrics.hpp"
+#include "workload/driver.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using sp::core::CacheConfig;
+using sp::core::Context;
+using sp::core::Knowledge;
+using sp::core::ServeCache;
+using sp::core::Session;
+using sp::core::SessionConfig;
+using sp::crypto::Bytes;
+using sp::workload::Event;
+using sp::workload::TraceGenerator;
+using sp::workload::WorkloadConfig;
+
+constexpr std::size_t kServers = 8;       // virtual serving cores
+constexpr std::size_t kReceivers = 4;     // proxy receivers driving requests
+constexpr std::size_t kCalibration = 4;   // cold/warm samples per class
+
+struct BenchConfig {
+  std::size_t events = 500;        // trace length per (point, arm)
+  std::size_t materialized = 12;   // real posts covering the Zipf head
+  double slo_ms = 0;               // 0 = auto from the cache-off arm
+  bool quick = false;
+  std::string out_path = "BENCH_PR10.json";
+};
+
+/// Measured (cpu, overlap) decomposition of one request. cpu occupies a
+/// virtual server; overlap (modeled network + waits) only stretches latency.
+struct Cost {
+  double cpu = 0;
+  double overlap = 0;
+};
+
+Cost cost_of(const sp::net::CostLedger& ledger) {
+  return {ledger.local_ms(), ledger.network_ms() + ledger.wait_ms()};
+}
+
+/// Per-class measured sample pools the tail draws from.
+struct SamplePool {
+  std::vector<Cost> c1_miss, c1_hit, c2_miss, c2_hit;
+
+  [[nodiscard]] const Cost& draw(const std::vector<Cost>& pool, sp::crypto::Drbg& rng) const {
+    return pool[rng.uniform(static_cast<std::uint32_t>(pool.size()))];
+  }
+};
+
+/// One (point, arm) universe: a real session holding the materialized Zipf
+/// head, plus a tail ServeCache reusing the production admission/LRU policy
+/// for ranks beyond the head.
+struct Arm {
+  Arm(bool cached, std::uint64_t users)
+      : cached_on(cached) {
+    SessionConfig cfg;
+    cfg.pairing_preset = sp::ec::ParamPreset::kTest;
+    cfg.seed = "bench-pr10-u" + std::to_string(users);
+    if (cached) cfg.cache = CacheConfig{};
+    session = std::make_unique<Session>(cfg);
+    sharer = session->register_user("sharer");
+    for (std::size_t i = 0; i < kReceivers; ++i) {
+      receivers.push_back(session->register_user("receiver-" + std::to_string(i)));
+      session->befriend(sharer, receivers.back());
+    }
+    sp::crypto::Drbg wl(cfg.seed + "-objects");
+    ctx = sp::bench::paper_context(4, wl);
+    object = sp::bench::paper_message(wl);
+    if (cached) tail_cache = std::make_unique<ServeCache>(CacheConfig{});
+  }
+
+  /// Materialize the hottest `count` ranks as real posts (scheme per rank).
+  void materialize(const TraceGenerator& gen, std::size_t count) {
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+      const auto receipt =
+          gen.post_is_c2(rank)
+              ? session->share_c2(sharer, object, ctx, 2, sp::net::pc_profile())
+              : session->share_c1(sharer, object, ctx, 2, 4, sp::net::pc_profile());
+      posts.push_back(receipt.post_id);
+    }
+  }
+
+  bool cached_on;
+  std::unique_ptr<Session> session;
+  sp::osn::UserId sharer = 0;
+  std::vector<sp::osn::UserId> receivers;
+  Context ctx;
+  Bytes object;
+  std::vector<std::string> posts;              ///< rank -> post id (head only)
+  std::unique_ptr<ServeCache> tail_cache;      ///< cache-on arm only
+  std::map<std::uint64_t, std::uint64_t> tail_epoch;
+  std::set<std::uint64_t> revoked;             ///< head ranks currently revoked
+  std::uint64_t tail_hits = 0, tail_misses = 0;
+};
+
+/// Cold/warm calibration: measure each class's miss cost (and, cache-on,
+/// hit cost) on probe accesses so the tail can draw realistic samples.
+SamplePool calibrate(Arm& arm, const TraceGenerator& gen) {
+  SamplePool pool;
+  const Knowledge knows = Knowledge::full(arm.ctx);
+  std::uint64_t c1_rank = 0, c2_rank = 0;
+  for (std::uint64_t r = 0; r < arm.posts.size(); ++r) {
+    if (gen.post_is_c2(r)) c2_rank = r; else c1_rank = r;
+  }
+  for (const bool c2 : {false, true}) {
+    const std::uint64_t rank = c2 ? c2_rank : c1_rank;
+    auto& miss = c2 ? pool.c2_miss : pool.c1_miss;
+    auto& hit = c2 ? pool.c2_hit : pool.c1_hit;
+    for (std::size_t i = 0; i < kCalibration; ++i) {
+      // Refresh rotates the epoch, so the next access is a true cold miss.
+      arm.session->refresh(arm.sharer, arm.posts[rank], arm.object, arm.ctx,
+                           sp::net::pc_profile());
+      const auto cold = arm.session->access(arm.receivers[0], arm.posts[rank], knows,
+                                            sp::net::pc_profile());
+      if (!cold.success()) std::fprintf(stderr, "calibration: cold access failed\n");
+      miss.push_back(cost_of(cold.cost));
+      const auto warm = arm.session->access(arm.receivers[0], arm.posts[rank], knows,
+                                            sp::net::pc_profile());
+      if (!warm.success()) std::fprintf(stderr, "calibration: warm access failed\n");
+      hit.push_back(cost_of(warm.cost));  // == miss cost when the cache is off
+    }
+  }
+  return pool;
+}
+
+struct ArmResult {
+  sp::workload::CapacityResult capacity;
+  double hit_rate = 0;
+  double mean_cpu_ms = 0;
+  double noqueue_p99_ms = 0;  ///< p99 of cpu+overlap, no queueing
+  std::size_t events = 0;
+  std::uint64_t cache_hits = 0, cache_lookups = 0;
+};
+
+/// Execute the trace once, collecting the per-event cost series; then
+/// replay it through the virtual-time driver to find the capacity knee.
+ArmResult run_arm(Arm& arm, const BenchConfig& bench, std::uint64_t users,
+                  std::uint64_t catalog, double slo_ms, double* auto_slo_out) {
+  WorkloadConfig wl;
+  wl.graph.users = users;
+  wl.graph.seed = "bench-pr10-u" + std::to_string(users);
+  wl.catalog_posts = catalog;
+  TraceGenerator gen(wl);
+  arm.materialize(gen, bench.materialized);
+  const SamplePool pool = calibrate(arm, gen);
+  sp::crypto::Drbg tail_rng("bench-pr10-tail");  // same stream both arms
+
+  const Knowledge knows = Knowledge::full(arm.ctx);
+  const ServeCache::Stats cache0 =
+      arm.cached_on ? arm.session->serve_cache()->stats() : ServeCache::Stats{};
+
+  std::vector<double> gaps, cpu, overlap;
+  gaps.reserve(bench.events);
+  for (std::size_t i = 0; i < bench.events; ++i) {
+    const Event event = gen.next();
+    const bool head = event.post_rank < arm.posts.size();
+    switch (event.kind) {
+      case Event::Kind::kAccess: {
+        Cost cost;
+        if (head) {
+          const auto result =
+              arm.session->access(arm.receivers[event.receiver % kReceivers],
+                                  arm.posts[event.post_rank], knows, sp::net::pc_profile());
+          cost = cost_of(result.cost);
+        } else if (arm.cached_on) {
+          // Tail rank through the real cache policy, sampled costs.
+          const std::string tail_entry_id = ServeCache::key(
+              "tail-" + std::to_string(event.post_rank), arm.tail_epoch[event.post_rank],
+              ServeCache::Kind::kC2Dem);
+          if (arm.tail_cache->get(tail_entry_id, ServeCache::Kind::kC2Dem)) {
+            ++arm.tail_hits;
+            cost = pool.draw(event.c2 ? pool.c2_hit : pool.c1_hit, tail_rng);
+          } else {
+            ++arm.tail_misses;
+            cost = pool.draw(event.c2 ? pool.c2_miss : pool.c1_miss, tail_rng);
+            arm.tail_cache->put(tail_entry_id, ServeCache::Kind::kC2Dem, Bytes{1});
+          }
+        } else {
+          cost = pool.draw(event.c2 ? pool.c2_miss : pool.c1_miss, tail_rng);
+        }
+        gaps.push_back(event.interarrival_unit);
+        cpu.push_back(cost.cpu);
+        overlap.push_back(cost.overlap);
+        break;
+      }
+      case Event::Kind::kRefresh:
+        // Sharer-side churn: restore the oldest revoked head post first (the
+        // paper's refresh-after-revoke lifecycle), else rotate the event's
+        // own post. Sharer cost is not serving latency — only the cache
+        // invalidation it causes shapes the curve.
+        if (!arm.revoked.empty()) {
+          const std::uint64_t rank = *arm.revoked.begin();
+          arm.revoked.erase(arm.revoked.begin());
+          arm.session->refresh(arm.sharer, arm.posts[rank], arm.object, arm.ctx,
+                               sp::net::pc_profile());
+        } else if (head) {
+          arm.session->refresh(arm.sharer, arm.posts[event.post_rank], arm.object, arm.ctx,
+                               sp::net::pc_profile());
+        } else if (arm.cached_on) {
+          ++arm.tail_epoch[event.post_rank];
+          arm.tail_cache->invalidate_post("tail-" + std::to_string(event.post_rank));
+        }
+        break;
+      case Event::Kind::kRevoke:
+        if (head) {
+          if (arm.revoked.insert(event.post_rank).second) {
+            arm.session->revoke(arm.sharer, arm.posts[event.post_rank]);
+          }
+        } else if (arm.cached_on) {
+          ++arm.tail_epoch[event.post_rank];
+          arm.tail_cache->invalidate_post("tail-" + std::to_string(event.post_rank));
+        }
+        break;
+    }
+  }
+
+  ArmResult out;
+  out.events = gaps.size();
+  if (arm.cached_on) {
+    const ServeCache::Stats s = arm.session->serve_cache()->stats();
+    const auto sig = static_cast<std::size_t>(ServeCache::Kind::kC1Sig);
+    const auto dem = static_cast<std::size_t>(ServeCache::Kind::kC2Dem);
+    out.cache_hits = (s.hits[sig] - cache0.hits[sig]) + (s.hits[dem] - cache0.hits[dem]) +
+                     arm.tail_hits;
+    out.cache_lookups = out.cache_hits + (s.misses[sig] - cache0.misses[sig]) +
+                        (s.misses[dem] - cache0.misses[dem]) + arm.tail_misses;
+    if (out.cache_lookups > 0) {
+      out.hit_rate =
+          static_cast<double>(out.cache_hits) / static_cast<double>(out.cache_lookups);
+    }
+  }
+  double cpu_sum = 0;
+  std::vector<double> totals(cpu.size());
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    cpu_sum += cpu[i];
+    totals[i] = cpu[i] + overlap[i];
+  }
+  out.mean_cpu_ms = cpu.empty() ? 0 : cpu_sum / static_cast<double>(cpu.size());
+  std::sort(totals.begin(), totals.end());
+  out.noqueue_p99_ms =
+      totals.empty() ? 0
+                     : totals[std::min(totals.size() - 1,
+                                       static_cast<std::size_t>(std::ceil(
+                                           0.99 * static_cast<double>(totals.size()))) -
+                                           1)];
+  if (auto_slo_out != nullptr) *auto_slo_out = 1.5 * out.noqueue_p99_ms;
+  const double slo = slo_ms > 0 ? slo_ms : 1.5 * out.noqueue_p99_ms;
+  out.capacity = sp::workload::find_capacity(gaps, cpu, overlap, kServers, slo);
+  return out;
+}
+
+struct PointResult {
+  std::uint64_t users = 0;
+  std::uint64_t catalog = 0;
+  double slo_ms = 0;
+  ArmResult off, on;
+
+  [[nodiscard]] double speedup() const {
+    return off.capacity.capacity_rps > 0 ? on.capacity.capacity_rps / off.capacity.capacity_rps
+                                         : 0;
+  }
+};
+
+void emit_arm_json(std::FILE* out, const char* name, const ArmResult& a, bool last) {
+  std::fprintf(out,
+               "      \"%s\": {\"capacity_rps\": %.2f, \"p99_at_capacity_ms\": %.2f, "
+               "\"noqueue_p99_ms\": %.2f, \"mean_cpu_ms\": %.3f, \"hit_rate\": %.4f, "
+               "\"cache_hits\": %llu, \"cache_lookups\": %llu, \"events\": %zu, "
+               "\"ladder_points\": %zu}%s\n",
+               name, a.capacity.capacity_rps, a.capacity.at_capacity.p99_ms, a.noqueue_p99_ms,
+               a.mean_cpu_ms, a.hit_rate, static_cast<unsigned long long>(a.cache_hits),
+               static_cast<unsigned long long>(a.cache_lookups), a.events,
+               a.capacity.ladder.size(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      cfg.quick = true;
+      cfg.events = 150;
+      cfg.materialized = 8;
+    } else if (arg == "--out" && i + 1 < argc) {
+      cfg.out_path = argv[++i];
+    } else if (arg == "--slo-ms" && i + 1 < argc) {
+      cfg.slo_ms = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--slo-ms X]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The curve: user counts ladder to the million-user headline. The graph
+  // and trace are lazy, so the 1M point costs the same RAM as the 10k one;
+  // the catalog grows with the population, which is what actually moves the
+  // cache hit rate (a wider Zipf head is harder to keep resident).
+  const std::vector<std::uint64_t> user_points = {10'000, 100'000, 1'000'000};
+  std::printf("# Capacity curve: %zu events/arm/point, %zu materialized head ranks, "
+              "%zu virtual servers, churn refresh=2%% revoke=0.5%%\n",
+              cfg.events, cfg.materialized, kServers);
+  std::printf("# %9s %9s %8s %12s %12s %8s %8s\n", "users", "catalog", "slo_ms",
+              "off_rps", "on_rps", "speedup", "hit_rate");
+
+  std::vector<PointResult> points;
+  for (const std::uint64_t users : user_points) {
+    PointResult point;
+    point.users = users;
+    point.catalog = std::clamp<std::uint64_t>(users / 100, 200, 10'000);
+    // The cache-off arm fixes the SLO (auto mode): both arms are then held
+    // to the same bar, which is what makes the speedup an apples-to-apples
+    // capacity ratio.
+    Arm off(false, users);
+    double auto_slo = 0;
+    point.off = run_arm(off, cfg, users, point.catalog, cfg.slo_ms, &auto_slo);
+    point.slo_ms = cfg.slo_ms > 0 ? cfg.slo_ms : auto_slo;
+    Arm on(true, users);
+    point.on = run_arm(on, cfg, users, point.catalog, point.slo_ms, nullptr);
+    std::printf("  %9llu %9llu %8.1f %12.2f %12.2f %7.2fx %7.1f%%\n",
+                static_cast<unsigned long long>(users),
+                static_cast<unsigned long long>(point.catalog), point.slo_ms,
+                point.off.capacity.capacity_rps, point.on.capacity.capacity_rps,
+                point.speedup(), 100.0 * point.on.hit_rate);
+    points.push_back(std::move(point));
+  }
+
+  // Acceptance bars. The base-probe SLO check and a live hit rate hold in
+  // every mode; the 1.5x speedup bar is asserted in full mode (quick mode
+  // reports it — 150 events leave the ratio real but noisier).
+  const PointResult& headline = points.back();
+  bool ok = true;
+  for (const PointResult& p : points) {
+    if (p.off.capacity.capacity_rps <= 0 || p.on.capacity.capacity_rps <= 0) {
+      std::fprintf(stderr, "users=%llu: SLO missed at the base probe — capacity is zero\n",
+                   static_cast<unsigned long long>(p.users));
+      ok = false;
+    }
+    if (p.on.hit_rate <= 0) {
+      std::fprintf(stderr, "users=%llu: cache hit rate is zero — the cache tier is dead\n",
+                   static_cast<unsigned long long>(p.users));
+      ok = false;
+    }
+  }
+  if (!cfg.quick && headline.speedup() < 1.5) {
+    std::fprintf(stderr, "headline speedup %.2fx is below the 1.5x bar\n", headline.speedup());
+    ok = false;
+  }
+
+  std::FILE* out = std::fopen(cfg.out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", cfg.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_capacity\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", cfg.quick ? "quick" : "full");
+  std::fprintf(out, "  \"preset\": \"test-256bit\",\n");
+  std::fprintf(out, "  \"servers\": %zu,\n", kServers);
+  std::fprintf(out, "  \"events_per_arm\": %zu,\n", cfg.events);
+  std::fprintf(out, "  \"materialized_head_ranks\": %zu,\n", cfg.materialized);
+  std::fprintf(out, "  \"workload\": {\"zipf_s\": 1.1, \"c2_fraction\": 0.5, "
+                    "\"refresh_fraction\": 0.02, \"revoke_fraction\": 0.005},\n");
+  std::fprintf(out,
+               "  \"latency_model\": \"measured CostLedger decomposition replayed through a "
+               "deterministic virtual-time open-loop M/G/c simulation; capacity = max offered "
+               "RPS with p99 <= SLO\",\n");
+  std::fprintf(out, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    std::fprintf(out,
+                 "    {\"users\": %llu, \"catalog_posts\": %llu, \"slo_p99_ms\": %.2f, "
+                 "\"speedup\": %.3f,\n",
+                 static_cast<unsigned long long>(p.users),
+                 static_cast<unsigned long long>(p.catalog), p.slo_ms, p.speedup());
+    emit_arm_json(out, "cache_off", p.off, false);
+    emit_arm_json(out, "cache_on", p.on, true);
+    std::fprintf(out, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"headline\": {\"users\": %llu, \"speedup\": %.3f, "
+                    "\"hit_rate\": %.4f, \"bar_speedup_min\": 1.5},\n",
+               static_cast<unsigned long long>(headline.users), headline.speedup(),
+               headline.on.hit_rate);
+  std::fprintf(out, "  \"metrics\": %s\n}\n",
+               sp::obs::MetricsRegistry::global().to_json().c_str());
+  std::fclose(out);
+  std::printf("# wrote %s\n", cfg.out_path.c_str());
+  return ok ? 0 : 1;
+}

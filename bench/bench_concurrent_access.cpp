@@ -5,10 +5,15 @@
 // catalog of posts (mixed Construction 1 / Construction 2), a stream of
 // access requests fanned over 1/2/4/8 worker threads, and per-request
 // latency = measured processing wall time + the simnet-modeled network
-// delay, which each worker REALIZES as wall-clock wait (sleep). That is the
-// serving reality this harness exists to measure: receiver requests are
-// network-dominated, so a thread-safe core overlaps many in-flight requests'
-// wire waits even when their crypto serializes on few cores.
+// delay, which each worker accounts on a seeded VIRTUAL wire clock
+// (fig10_common.hpp: VirtualWireClocks) rather than sleeping it off — the
+// modeled delay is deterministic per seed, so the virtual makespan is
+// reproducible where a sleep-paced run inherited scheduler jitter and CI
+// oversleep. The serving reality measured is unchanged: receiver requests
+// are network-dominated, so a thread-safe core overlaps many in-flight
+// requests' wire waits even when their crypto serializes on few cores —
+// which is exactly what per-worker clocks + max-over-workers makespan
+// compute.
 //
 // Latency percentiles come from an obs::Histogram (a private per-run
 // registry), not from sorting raw sample vectors — the bench reports exactly
@@ -21,7 +26,7 @@
 // The PR 7 section splits the latency series per scheme (the acceptance bar
 // for the batch-verify pipeline is on C2 access latency specifically, and a
 // 7:1 mix would bury it in the aggregate), separating measured processing
-// time from the realized wire wait so the crypto-path improvement is visible
+// time from the modeled wire wait so the crypto-path improvement is visible
 // next to the network floor, and adds a per-core verify-throughput step
 // (requests/s/thread at each thread count).
 //
@@ -43,7 +48,8 @@
 // BENCH_PR9.json.
 //
 // Usage: bench_concurrent_access [--quick] [--out PATH]
-//   --quick  test preset, fewer requests, compressed wire waits (CI smoke)
+//   --quick  test preset, fewer requests (CI smoke; wire is virtual, so the
+//            quick preset no longer compresses it)
 //   --out    JSON output path (default BENCH_PR9.json)
 #include <unistd.h>
 
@@ -77,7 +83,7 @@ struct BenchConfig {
   sp::ec::ParamPreset preset = sp::ec::ParamPreset::kFull;  // the 512-bit preset
   const char* preset_name = "full-512bit";
   std::size_t requests = 48;
-  double wire_scale = 1.0;      // fraction of modeled network delay realized as wall wait
+  double wire_scale = 1.0;      // fraction of modeled network delay on the virtual wire clock
   int overhead_reps = 6;        // alternated on/off pairs in the overhead A/B
   std::size_t overhead_tile = 4;  // A/B request stream = tile x the scaling stream
   std::string out_path = "BENCH_PR9.json";
@@ -87,10 +93,11 @@ struct RunStats {
   std::size_t threads = 0;
   std::size_t requests = 0;
   std::size_t granted = 0;
-  double wall_ms = 0;
-  double throughput_rps = 0;
+  double wall_ms = 0;            // real elapsed time of the (sleep-free) run
+  double virtual_makespan_ms = 0;  // slowest worker's processing + virtual wire
+  double throughput_rps = 0;       // requests per second of virtual makespan
   sp::bench::LatencySummary latency;
-  // Per-scheme split: total = processing + realized wire, proc = processing
+  // Per-scheme split: total = processing + modeled wire, proc = processing
   // only. The C2 rows are the batch-verify pipeline's acceptance series.
   sp::bench::LatencySummary c1_total, c1_proc;
   sp::bench::LatencySummary c2_total, c2_proc;
@@ -122,12 +129,13 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> granted{0};
+  sp::bench::VirtualWireClocks clocks(threads);
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= requests.size()) return;
@@ -138,12 +146,11 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
         const double proc_ms =
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                 .count();
-        // Realize the modeled wire time: this worker is "on the socket" for
-        // that long, exactly what lets other threads' requests make progress.
+        // The modeled wire time keeps this worker "on the socket" — it goes
+        // on the worker's virtual clock (not a real sleep), which is what
+        // lets the makespan reflect overlapped in-flight requests.
         const double wire_ms = result.cost.network_ms() * wire_scale;
-        if (wire_ms > 0) {
-          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wire_ms));
-        }
+        clocks.advance(t, proc_ms + wire_ms);
         latency.observe(proc_ms + wire_ms);
         if (!is_c2.empty()) {
           (is_c2[i] ? c2_total : c1_total).observe(proc_ms + wire_ms);
@@ -163,7 +170,9 @@ RunStats run_load(const Session& session, const std::vector<Session::AccessReque
   stats.requests = requests.size();
   stats.granted = granted.load();
   stats.wall_ms = wall_ms;
-  stats.throughput_rps = 1000.0 * static_cast<double>(requests.size()) / wall_ms;
+  stats.virtual_makespan_ms = clocks.makespan_ms();
+  stats.throughput_rps =
+      1000.0 * static_cast<double>(requests.size()) / stats.virtual_makespan_ms;
   stats.latency = sp::bench::summarize(latency);
   stats.c1_total = sp::bench::summarize(c1_total);
   stats.c1_proc = sp::bench::summarize(c1_proc);
@@ -230,8 +239,9 @@ std::vector<Session::AccessRequest> make_request_stream(const Catalog& cat, cons
 struct MixedRwStats {
   std::size_t ops = 0;
   std::size_t writes = 0;
-  double wall_ms = 0;
-  double ops_per_sec = 0;
+  double wall_ms = 0;              // real elapsed time of the (sleep-free) run
+  double virtual_makespan_ms = 0;  // slowest worker's processing + virtual wire
+  double ops_per_sec = 0;          // operations per second of virtual makespan
   sp::bench::LatencySummary all, read, write;
 };
 
@@ -240,7 +250,7 @@ struct MixedRwStats {
 /// upload half of the serving mix. On a durable session store()/
 /// store_record() return only once the mutation's WAL envelope is committed
 /// per the fsync policy, so a WAL stall lands in exactly these samples.
-/// Reads realize their modeled wire wait like run_load.
+/// Reads account their modeled wire wait on the virtual clock like run_load.
 MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessRequest>& requests,
                           std::size_t threads, double wire_scale) {
   sp::obs::MetricsRegistry run_registry;
@@ -257,11 +267,12 @@ MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessReq
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> write_ops{0};
   std::atomic<std::size_t> failures{0};
+  sp::bench::VirtualWireClocks clocks(threads);
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= requests.size()) return;
@@ -275,6 +286,7 @@ MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessReq
           const double ms =
               std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                   .count();
+          clocks.advance(t, ms);
           all.observe(ms);
           write.observe(ms);
           write_ops.fetch_add(1, std::memory_order_relaxed);
@@ -286,9 +298,7 @@ MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessReq
               std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                   .count();
           const double wire_ms = result.cost.network_ms() * wire_scale;
-          if (wire_ms > 0) {
-            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wire_ms));
-          }
+          clocks.advance(t, proc_ms + wire_ms);
           all.observe(proc_ms + wire_ms);
           read.observe(proc_ms + wire_ms);
           if (!result.success()) failures.fetch_add(1, std::memory_order_relaxed);
@@ -308,7 +318,8 @@ MixedRwStats run_mixed_rw(Session& session, const std::vector<Session::AccessReq
   s.ops = requests.size();
   s.writes = write_ops.load();
   s.wall_ms = wall_ms;
-  s.ops_per_sec = 1000.0 * static_cast<double>(requests.size()) / wall_ms;
+  s.virtual_makespan_ms = clocks.makespan_ms();
+  s.ops_per_sec = 1000.0 * static_cast<double>(requests.size()) / s.virtual_makespan_ms;
   s.all = sp::bench::summarize(all);
   s.read = sp::bench::summarize(read);
   s.write = sp::bench::summarize(write);
@@ -387,7 +398,8 @@ int main(int argc, char** argv) {
       cfg.preset = sp::ec::ParamPreset::kTest;
       cfg.preset_name = "test-256bit";
       cfg.requests = 16;
-      cfg.wire_scale = 0.25;
+      // Wire time is virtual now, so quick mode keeps the full modeled
+      // delay — compressing it bought CI wall time back when it was slept.
       cfg.overhead_reps = 1;
       cfg.overhead_tile = 1;
     } else if (arg == "--out" && i + 1 < argc) {
@@ -427,7 +439,7 @@ int main(int argc, char** argv) {
 
   std::printf("# Concurrent access load: %zu requests (7:1 C1:C2), preset %s, wire x%.2f\n",
               cfg.requests, cfg.preset_name, cfg.wire_scale);
-  std::printf("# %7s %9s %12s %9s %9s %9s\n", "threads", "wall_ms", "thruput_rps", "p50_ms",
+  std::printf("# %7s %9s %12s %9s %9s %9s\n", "threads", "vwall_ms", "thruput_rps", "p50_ms",
               "p95_ms", "p99_ms");
   std::vector<RunStats> series;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -437,7 +449,7 @@ int main(int argc, char** argv) {
                    s.requests);
       return 1;
     }
-    std::printf("  %7zu %9.1f %12.2f %9.1f %9.1f %9.1f\n", s.threads, s.wall_ms,
+    std::printf("  %7zu %9.1f %12.2f %9.1f %9.1f %9.1f\n", s.threads, s.virtual_makespan_ms,
                 s.throughput_rps, s.latency.p50_ms, s.latency.p95_ms, s.latency.p99_ms);
     series.push_back(s);
   }
@@ -633,7 +645,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"wire_scale\": %.2f,\n", cfg.wire_scale);
   std::fprintf(out,
                "  \"latency_model\": \"measured processing wall time + simnet network delay "
-               "realized as wall-clock wait\",\n");
+               "accounted on seeded per-worker virtual wire clocks (no wall-clock sleeps; "
+               "throughput = requests / virtual makespan)\",\n");
   std::fprintf(out, "  \"percentile_source\": \"obs::Histogram bucket interpolation\",\n");
   auto scheme_json = [](const sp::bench::LatencySummary& s) {
     char buf[160];
@@ -646,11 +659,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < series.size(); ++i) {
     const RunStats& s = series[i];
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"wall_ms\": %.1f, \"throughput_rps\": %.2f, "
+                 "    {\"threads\": %zu, \"wall_ms\": %.1f, \"virtual_makespan_ms\": %.1f, "
+                 "\"throughput_rps\": %.2f, "
                  "\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": %.1f, \"max_ms\": %.1f,\n"
                  "     \"c1_total\": %s, \"c1_proc\": %s,\n"
                  "     \"c2_total\": %s, \"c2_proc\": %s}%s\n",
-                 s.threads, s.wall_ms, s.throughput_rps, s.latency.p50_ms, s.latency.p95_ms,
+                 s.threads, s.wall_ms, s.virtual_makespan_ms, s.throughput_rps,
+                 s.latency.p50_ms, s.latency.p95_ms,
                  s.latency.p99_ms, s.latency.max_ms, scheme_json(s.c1_total).c_str(),
                  scheme_json(s.c1_proc).c_str(), scheme_json(s.c2_total).c_str(),
                  scheme_json(s.c2_proc).c_str(), i + 1 < series.size() ? "," : "");
@@ -660,9 +675,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < c2_series.size(); ++i) {
     const RunStats& s = c2_series[i];
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"wall_ms\": %.1f, \"throughput_rps\": %.2f,\n"
+                 "    {\"threads\": %zu, \"virtual_makespan_ms\": %.1f, "
+                 "\"throughput_rps\": %.2f,\n"
                  "     \"total\": %s, \"proc\": %s}%s\n",
-                 s.threads, s.wall_ms, s.throughput_rps, scheme_json(s.c2_total).c_str(),
+                 s.threads, s.virtual_makespan_ms, s.throughput_rps,
+                 scheme_json(s.c2_total).c_str(),
                  scheme_json(s.c2_proc).c_str(), i + 1 < c2_series.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
@@ -702,6 +719,7 @@ int main(int argc, char** argv) {
                "(fast path = one relaxed load)\"\n  },\n");
   auto rw_json = [&scheme_json](const MixedRwStats& s) {
     return "{\"wall_ms\": " + std::to_string(s.wall_ms) +
+           ", \"virtual_makespan_ms\": " + std::to_string(s.virtual_makespan_ms) +
            ", \"ops_per_sec\": " + std::to_string(s.ops_per_sec) +
            ", \"all\": " + scheme_json(s.all) + ", \"read\": " + scheme_json(s.read) +
            ", \"write\": " + scheme_json(s.write) + "}";

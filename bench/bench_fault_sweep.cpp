@@ -11,7 +11,10 @@
 // (granted / denied / deadline-exceeded), mean serving attempts, per-kind
 // injected-fault counts, and latency percentiles where each request's
 // latency = measured processing wall time + the modeled network *and*
-// fault/backoff wait realized as wall-clock sleep.
+// fault/backoff wait, accounted on seeded per-worker virtual wire clocks
+// (fig10_common.hpp: VirtualWireClocks) instead of slept off — so the
+// throughput a fault rate costs is reproducible per seed, not a function
+// of scheduler oversleep on the CI runner.
 //
 // The retry-overhead A/B isolates what the retry layer itself costs when
 // nothing fails: 8 threads, wire waits off, access_with_retries on an
@@ -21,7 +24,8 @@
 // Writes the sweep + overhead + a full metrics snapshot to BENCH_PR5.json.
 //
 // Usage: bench_fault_sweep [--quick] [--out PATH]
-//   --quick  test preset, fewer requests, compressed wire waits (CI smoke)
+//   --quick  test preset, fewer requests (CI smoke; wire is virtual, so the
+//            quick preset no longer compresses it)
 //   --out    JSON output path (default BENCH_PR5.json)
 #include <algorithm>
 #include <array>
@@ -53,7 +57,7 @@ struct BenchConfig {
   sp::ec::ParamPreset preset = sp::ec::ParamPreset::kFull;  // the 512-bit preset
   const char* preset_name = "full-512bit";
   std::size_t requests_per_thread = 25;  // 200 requests per rate
-  double wire_scale = 1.0;   // fraction of modeled network+wait realized as wall wait
+  double wire_scale = 1.0;   // fraction of modeled network+wait on the virtual wire clock
   int overhead_reps = 3;     // alternated on/off pairs in the retry-overhead A/B
   std::size_t overhead_tile = 2;  // A/B stream = tile x the sweep stream
   std::string out_path = "BENCH_PR5.json";
@@ -100,8 +104,9 @@ struct RateStats {
   std::size_t denied = 0;
   std::size_t deadline = 0;
   std::uint64_t attempts = 0;
-  double wall_ms = 0;
-  double throughput_rps = 0;
+  double wall_ms = 0;              // real elapsed time of the (sleep-free) run
+  double virtual_makespan_ms = 0;  // slowest worker's processing + virtual wire
+  double throughput_rps = 0;       // requests per second of virtual makespan
   sp::bench::LatencySummary latency;
   std::array<std::uint64_t, sp::net::kFaultKindCount> injected{};
 
@@ -114,18 +119,20 @@ struct RateStats {
 };
 
 /// One load run: thread t drives receiver t through `per_thread` requests
-/// (7/8 C1, 1/8 C2), with retries iff `with_retries`. Each worker realizes
-/// its request's modeled network + fault/backoff wait as wall sleep scaled
-/// by `wire_scale`, so throughput reflects what the faults actually cost.
+/// (7/8 C1, 1/8 C2), with retries iff `with_retries`. Each worker accounts
+/// its request's modeled network + fault/backoff wait (scaled by
+/// `wire_scale`) on its virtual wire clock, so throughput reflects what the
+/// faults actually cost without paying or mis-measuring real sleeps.
 RateStats run_load(const Rig& rig, std::size_t per_thread, double wire_scale,
                    bool with_retries) {
   sp::obs::MetricsRegistry run_registry;
   sp::obs::Histogram& latency = run_registry.histogram(
-      "bench_request_latency_ms", "Per-request latency (processing + realized waits)",
+      "bench_request_latency_ms", "Per-request latency (processing + modeled waits)",
       sp::obs::Histogram::exponential_bounds(0.1, 1.3, 45));
 
   std::atomic<std::size_t> granted{0}, denied{0}, deadline{0};
   std::atomic<std::uint64_t> attempts{0};
+  sp::bench::VirtualWireClocks clocks(kThreads);
   const Knowledge knows = Knowledge::full(rig.ctx);
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -145,13 +152,11 @@ RateStats run_load(const Rig& rig, std::size_t per_thread, double wire_scale,
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                 .count();
         // Network time and fault/backoff waits both hold the receiver's
-        // socket open; realizing them is what makes the sweep's throughput
-        // numbers mean something.
+        // socket open; charging them to the worker's virtual clock is what
+        // makes the sweep's throughput numbers mean something.
         const double wire_ms =
             (result.cost.network_ms() + result.cost.wait_ms()) * wire_scale;
-        if (wire_ms > 0) {
-          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wire_ms));
-        }
+        clocks.advance(t, proc_ms + wire_ms);
         latency.observe(proc_ms + wire_ms);
         attempts.fetch_add(static_cast<std::uint64_t>(result.attempts),
                            std::memory_order_relaxed);
@@ -177,7 +182,9 @@ RateStats run_load(const Rig& rig, std::size_t per_thread, double wire_scale,
   stats.deadline = deadline.load();
   stats.attempts = attempts.load();
   stats.wall_ms = wall_ms;
-  stats.throughput_rps = 1000.0 * static_cast<double>(stats.issued) / wall_ms;
+  stats.virtual_makespan_ms = clocks.makespan_ms();
+  stats.throughput_rps =
+      1000.0 * static_cast<double>(stats.issued) / stats.virtual_makespan_ms;
   stats.latency = sp::bench::summarize(latency);
   return stats;
 }
@@ -192,7 +199,8 @@ int main(int argc, char** argv) {
       cfg.preset = sp::ec::ParamPreset::kTest;
       cfg.preset_name = "test-256bit";
       cfg.requests_per_thread = 6;  // 48 requests per rate
-      cfg.wire_scale = 0.1;
+      // Wire time is virtual now, so quick mode keeps the full modeled
+      // delay — compressing it bought CI wall time back when it was slept.
       cfg.overhead_reps = 1;
       cfg.overhead_tile = 1;
     } else if (arg == "--out" && i + 1 < argc) {
@@ -302,7 +310,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"wire_scale\": %.2f,\n", cfg.wire_scale);
   std::fprintf(out,
                "  \"latency_model\": \"measured processing wall time + simnet network delay "
-               "and fault/backoff waits realized as wall-clock wait\",\n");
+               "and fault/backoff waits accounted on seeded per-worker virtual wire clocks "
+               "(no wall-clock sleeps; throughput = requests / virtual makespan)\",\n");
   std::fprintf(out, "  \"retry_policy\": {\"max_attempts\": 5, \"base_backoff_ms\": 25.0, "
                     "\"backoff_factor\": 2.0, \"max_backoff_ms\": 1000.0, "
                     "\"jitter_frac\": 0.25, \"deadline_ms\": 15000.0},\n");
@@ -321,9 +330,11 @@ int main(int argc, char** argv) {
                    k + 1 < sp::net::kFaultKindCount ? ", " : "");
     }
     std::fprintf(out,
-                 "},\n     \"wall_ms\": %.1f, \"throughput_rps\": %.2f, \"p50_ms\": %.1f, "
+                 "},\n     \"wall_ms\": %.1f, \"virtual_makespan_ms\": %.1f, "
+                 "\"throughput_rps\": %.2f, \"p50_ms\": %.1f, "
                  "\"p95_ms\": %.1f, \"p99_ms\": %.1f, \"max_ms\": %.1f}%s\n",
-                 s.wall_ms, s.throughput_rps, s.latency.p50_ms, s.latency.p95_ms,
+                 s.wall_ms, s.virtual_makespan_ms, s.throughput_rps, s.latency.p50_ms,
+                 s.latency.p95_ms,
                  s.latency.p99_ms, s.latency.max_ms, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

@@ -1,0 +1,311 @@
+#include "core/serve_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "crypto/secret.hpp"
+#include "obs/metrics.hpp"
+
+namespace sp::core {
+
+namespace {
+
+constexpr char kSep = '\x1f';  // unit separator: never appears in post ids
+
+const char* kind_label(ServeCache::Kind kind) {
+  switch (kind) {
+    case ServeCache::Kind::kC1Sig:
+      return "c1_sig";
+    case ServeCache::Kind::kC2Dem:
+      return "c2_dem";
+    case ServeCache::Kind::kDhNegative:
+      return "dh_negative";
+  }
+  return "unknown";
+}
+
+/// Process-wide sp_cache_* series (docs/OBSERVABILITY.md). Aggregated over
+/// every ServeCache instance, SessionMetrics-style.
+struct CacheMetrics {
+  std::array<obs::Counter*, ServeCache::kKindCount> hit;
+  std::array<obs::Counter*, ServeCache::kKindCount> miss;
+  std::array<obs::Counter*, ServeCache::kKindCount> insert;
+  obs::Counter& admission_rejected;
+  obs::Counter& evictions_positive;
+  obs::Counter& evictions_negative;
+  obs::Counter& invalidated;
+  obs::Gauge& entries_positive;
+  obs::Gauge& entries_negative;
+
+  static obs::Counter* req(ServeCache::Kind kind, const char* result) {
+    return &obs::MetricsRegistry::global().counter(
+        "sp_cache_requests_total", "Serving-cache lookups by entry class and result",
+        {{"class", kind_label(kind)}, {"result", result}});
+  }
+  static obs::Counter* ins(ServeCache::Kind kind) {
+    return &obs::MetricsRegistry::global().counter(
+        "sp_cache_insertions_total", "Serving-cache entries admitted, by entry class",
+        {{"class", kind_label(kind)}});
+  }
+
+  static CacheMetrics& get() {
+    using Kind = ServeCache::Kind;
+    auto& reg = obs::MetricsRegistry::global();
+    static CacheMetrics m{
+        {req(Kind::kC1Sig, "hit"), req(Kind::kC2Dem, "hit"), req(Kind::kDhNegative, "hit")},
+        {req(Kind::kC1Sig, "miss"), req(Kind::kC2Dem, "miss"), req(Kind::kDhNegative, "miss")},
+        {ins(Kind::kC1Sig), ins(Kind::kC2Dem), ins(Kind::kDhNegative)},
+        reg.counter("sp_cache_admission_rejected_total",
+                    "Inserts refused by the frequency-sketch admission policy"),
+        reg.counter("sp_cache_evictions_total", "Serving-cache evictions",
+                    {{"cache", "positive"}}),
+        reg.counter("sp_cache_evictions_total", "", {{"cache", "negative"}}),
+        reg.counter("sp_cache_invalidated_total",
+                    "Entries erased by refresh/revocation churn invalidation"),
+        reg.gauge("sp_cache_entries", "Live serving-cache entries", {{"cache", "positive"}}),
+        reg.gauge("sp_cache_entries", "", {{"cache", "negative"}}),
+    };
+    return m;
+  }
+};
+
+/// 64-bit mix (splitmix64 finalizer) for the sketch's second hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ServeCache::ServeCache(CacheConfig config) : config_(config) {
+  const std::size_t n_shards = std::max<std::size_t>(1, config_.shards);
+  per_shard_ = std::max<std::size_t>(1, (config_.capacity + n_shards - 1) / n_shards);
+  negative_per_shard_ =
+      std::max<std::size_t>(1, (config_.negative_capacity + n_shards - 1) / n_shards);
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ServeCache::~ServeCache() { clear(); }
+
+std::string ServeCache::key(std::string_view post_id, std::uint64_t epoch, Kind kind,
+                            std::string_view suffix) {
+  std::string k;
+  k.reserve(post_id.size() + suffix.size() + 24);
+  k.append(post_id);
+  k.push_back(kSep);
+  k.append(std::to_string(epoch));
+  k.push_back(kSep);
+  k.append(kind_label(kind));
+  if (!suffix.empty()) {
+    k.push_back(kSep);
+    k.append(suffix);
+  }
+  return k;
+}
+
+ServeCache::Shard& ServeCache::shard_for(std::string_view key) const {
+  const std::uint64_t h = mix64(std::hash<std::string_view>{}(key));
+  return *shards_[h % shards_.size()];
+}
+
+void ServeCache::touch_sketch(Shard& shard) {
+  // Aging: halve every counter once enough touches accumulate, so a burst
+  // from last epoch cannot outvote the current working set forever.
+  if (++shard.sketch_ops >= 8 * Shard::kSketchSlots) {
+    for (std::uint8_t& c : shard.sketch) c = static_cast<std::uint8_t>(c >> 1);
+    shard.sketch_ops /= 2;
+  }
+}
+
+void ServeCache::sketch_count(Shard& shard, std::string_view key, bool increment,
+                              std::uint8_t* out_estimate) {
+  const std::uint64_t h = std::hash<std::string_view>{}(key);
+  const std::size_t a = h % Shard::kSketchSlots;
+  const std::size_t b = mix64(h) % Shard::kSketchSlots;
+  const std::uint8_t estimate = std::min(shard.sketch[a], shard.sketch[b]);
+  if (increment && estimate < 15) {
+    // Conservative update: only the minimum counters grow, which keeps the
+    // sketch's overestimates small.
+    if (shard.sketch[a] == estimate) ++shard.sketch[a];
+    if (shard.sketch[b] == estimate && (a != b || shard.sketch[b] <= estimate)) ++shard.sketch[b];
+  }
+  if (out_estimate != nullptr) *out_estimate = estimate;
+}
+
+void ServeCache::erase_entry(Shard& shard, Map::iterator it) {
+  crypto::secure_wipe(it->second.value);
+  shard.lru.erase(it->second.lru);
+  shard.entries.erase(it);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  CacheMetrics::get().entries_positive.add(-1);
+}
+
+std::optional<Bytes> ServeCache::get(const std::string& key, Kind kind) {
+  const auto k = static_cast<std::size_t>(kind);
+  Shard& shard = shard_for(key);
+  const sp::MutexLock lock(shard.mu);
+  touch_sketch(shard);
+  sketch_count(shard, key, /*increment=*/true, nullptr);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_[k].fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().miss[k]->inc();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+  hits_[k].fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().hit[k]->inc();
+  return it->second.value;
+}
+
+void ServeCache::put(const std::string& key, Kind kind, Bytes value) {
+  const auto k = static_cast<std::size_t>(kind);
+  Shard& shard = shard_for(key);
+  const sp::MutexLock lock(shard.mu);
+  touch_sketch(shard);
+  std::uint8_t newcomer_freq = 0;
+  sketch_count(shard, key, /*increment=*/true, &newcomer_freq);
+
+  if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
+    // Refresh in place: wipe the superseded value, keep the LRU node.
+    crypto::secure_wipe(it->second.value);
+    it->second.value = std::move(value);
+    it->second.kind = static_cast<std::uint8_t>(k);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+    insertions_[k].fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().insert[k]->inc();
+    return;
+  }
+
+  if (shard.entries.size() >= per_shard_) {
+    const Map::iterator victim = shard.lru.back();
+    if (config_.admission) {
+      std::uint8_t victim_freq = 0;
+      sketch_count(shard, victim->first, /*increment=*/false, &victim_freq);
+      if (newcomer_freq < victim_freq) {
+        // The resident is hotter: keep it, drop (and wipe) the newcomer.
+        crypto::secure_wipe(value);
+        admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().admission_rejected.inc();
+        return;
+      }
+    }
+    erase_entry(shard, victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().evictions_positive.inc();
+  }
+
+  const auto [it, inserted] = shard.entries.emplace(key, Entry{});
+  it->second.value = std::move(value);
+  it->second.kind = static_cast<std::uint8_t>(k);
+  shard.lru.push_front(it);
+  it->second.lru = shard.lru.begin();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  insertions_[k].fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().entries_positive.add(1);
+  CacheMetrics::get().insert[k]->inc();
+}
+
+bool ServeCache::negative_hit(const std::string& key) {
+  const auto k = static_cast<std::size_t>(Kind::kDhNegative);
+  Shard& shard = shard_for(key);
+  const sp::MutexLock lock(shard.mu);
+  const bool hit = shard.negative.find(key) != shard.negative.end();
+  (hit ? hits_[k] : misses_[k]).fetch_add(1, std::memory_order_relaxed);
+  (hit ? CacheMetrics::get().hit[k] : CacheMetrics::get().miss[k])->inc();
+  return hit;
+}
+
+void ServeCache::negative_put(const std::string& key) {
+  const auto k = static_cast<std::size_t>(Kind::kDhNegative);
+  Shard& shard = shard_for(key);
+  const sp::MutexLock lock(shard.mu);
+  if (shard.negative.find(key) != shard.negative.end()) return;
+  if (shard.negative.size() >= negative_per_shard_) {
+    // FIFO, not LRU: a miss marker is a fact with a lifetime (until the next
+    // re-upload), not a popularity contest.
+    const std::string& oldest = shard.negative_fifo.front();
+    shard.negative.erase(oldest);
+    shard.negative_fifo.pop_front();
+    negative_entries_.fetch_sub(1, std::memory_order_relaxed);
+    negative_evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().evictions_negative.inc();
+    CacheMetrics::get().entries_negative.add(-1);
+  }
+  shard.negative_fifo.push_back(key);
+  shard.negative.emplace(key, std::prev(shard.negative_fifo.end()));
+  negative_entries_.fetch_add(1, std::memory_order_relaxed);
+  insertions_[k].fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().entries_negative.add(1);
+  CacheMetrics::get().insert[k]->inc();
+}
+
+std::size_t ServeCache::invalidate_post(std::string_view post_id) {
+  std::string prefix(post_id);
+  prefix.push_back(kSep);
+  std::size_t erased = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const sp::MutexLock lock(shard.mu);
+    for (auto it = shard.entries.lower_bound(prefix);
+         it != shard.entries.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+      erase_entry(shard, it++);
+      ++erased;
+    }
+    for (auto it = shard.negative.lower_bound(prefix);
+         it != shard.negative.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+      shard.negative_fifo.erase(it->second);
+      it = shard.negative.erase(it);
+      negative_entries_.fetch_sub(1, std::memory_order_relaxed);
+      CacheMetrics::get().entries_negative.add(-1);
+      ++erased;
+    }
+  }
+  if (erased > 0) {
+    invalidated_.fetch_add(erased, std::memory_order_relaxed);
+    CacheMetrics::get().invalidated.inc(erased);
+  }
+  return erased;
+}
+
+void ServeCache::clear() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const sp::MutexLock lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) erase_entry(shard, it++);
+    const std::size_t negatives = shard.negative.size();
+    shard.negative.clear();
+    shard.negative_fifo.clear();
+    if (negatives > 0) {
+      negative_entries_.fetch_sub(negatives, std::memory_order_relaxed);
+      CacheMetrics::get().entries_negative.add(-static_cast<std::int64_t>(negatives));
+    }
+  }
+}
+
+ServeCache::Stats ServeCache::stats() const {
+  Stats s;
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    s.hits[k] = hits_[k].load(std::memory_order_relaxed);
+    s.misses[k] = misses_[k].load(std::memory_order_relaxed);
+    s.insertions[k] = insertions_[k].load(std::memory_order_relaxed);
+  }
+  s.admission_rejected = admission_rejected_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.negative_evictions = negative_evictions_.load(std::memory_order_relaxed);
+  s.invalidated = invalidated_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.negative_entries = negative_entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ServeCache::size() const { return entries_.load(std::memory_order_relaxed); }
+
+std::size_t ServeCache::negative_size() const {
+  return negative_entries_.load(std::memory_order_relaxed);
+}
+
+}  // namespace sp::core

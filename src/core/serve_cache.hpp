@@ -1,0 +1,173 @@
+// Hot-path serving cache (ROADMAP item 4): an admission-controlled sharded
+// LRU over hot per-puzzle verification state, plus a negative cache for DH
+// misses.
+//
+// What it holds (all keyed by post + puzzle epoch, see Session):
+//   * kC1Sig — "the sharer's Schnorr signature on (URL, k, K_Z) verified"
+//     markers, so a hot C1 post pays the two scalar multiplications once per
+//     epoch instead of once per request.
+//   * kC2Dem — the CP-ABE KEM/DEM key recovered by a successful Construction
+//     2 access, so hot C2 posts skip deserialize + Reconstruct + KeyGen +
+//     Decrypt (the pairing-heavy receiver phases) and the PK/MK downloads.
+//   * kDhNegative — "URL authoritatively absent at the DH" markers, so a
+//     revoked post fails fast instead of paying a round trip per retry.
+//
+// Correctness contract: Session consults the cache only AFTER the SP's
+// Verify has granted the request, so a cache entry can shortcut work but can
+// never flip a denial into a grant. Refresh/revocation bump the post's
+// epoch (stale keys become unreachable) AND erase the post's key range
+// (belt and suspenders — a stale grant is a correctness bug, not a perf
+// bug). Values may be key material: every dropped value is secure_wipe()d.
+//
+// Shape: N independent shards (key-hash striped, one sp::Mutex each — the
+// ShardedStore idiom), each an ordered std::map + intrusive LRU list.
+// Ordered maps make per-post invalidation a lower_bound range erase; keys
+// are "<post>\x1f<epoch>\x1f<class>[\x1f<suffix>]" so one prefix sweep
+// clears every class. Admission is TinyLFU-style: a small per-shard
+// frequency sketch; when a shard is full, a newcomer must be at least as
+// popular as the LRU victim or it is rejected — one-hit wonders from the
+// Zipf tail cannot wash out the hot head.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sp::core {
+
+using crypto::Bytes;
+
+/// Knobs for the serving cache (SessionConfig.cache; nullopt = no cache
+/// tier, the pre-PR-10 serving path bit for bit).
+struct CacheConfig {
+  std::size_t capacity = 4096;          ///< max positive entries (all shards)
+  std::size_t negative_capacity = 512;  ///< max DH-miss markers (all shards)
+  std::size_t shards = 8;               ///< lock stripes (>= 1)
+  bool admission = true;  ///< frequency-sketch admission at capacity
+};
+
+class ServeCache {
+ public:
+  /// Entry classes — metric labels and key segments. kDhNegative lives in
+  /// the (valueless) negative maps; the others in the positive LRU.
+  enum class Kind : std::size_t { kC1Sig = 0, kC2Dem = 1, kDhNegative = 2 };
+  static constexpr std::size_t kKindCount = 3;
+
+  explicit ServeCache(CacheConfig config);
+  ~ServeCache();
+  ServeCache(const ServeCache&) = delete;
+  ServeCache& operator=(const ServeCache&) = delete;
+  ServeCache(ServeCache&&) = delete;
+  ServeCache& operator=(ServeCache&&) = delete;
+
+  /// Canonical cache key. The epoch segment makes every refresh/revocation
+  /// a whole-post key rotation even if an invalidation were missed; the
+  /// suffix pins class-specific identity (e.g. the URL a signature covers).
+  [[nodiscard]] static std::string key(std::string_view post_id, std::uint64_t epoch, Kind kind,
+                                       std::string_view suffix = {});
+
+  /// Positive lookup; a hit bumps LRU recency and the admission sketch.
+  /// Returns a copy (the store may evict concurrently). `kind` labels the
+  /// hit/miss series only — the key already encodes it.
+  [[nodiscard]] std::optional<Bytes> get(const std::string& key, Kind kind);
+
+  /// Insert (or refresh) a positive entry. At capacity the admission sketch
+  /// may reject the newcomer instead of evicting the LRU victim; either
+  /// way every dropped value is wiped.
+  void put(const std::string& key, Kind kind, Bytes value);
+
+  /// Negative-cache lookup: true = this URL is known absent.
+  [[nodiscard]] bool negative_hit(const std::string& key);
+  /// Record an authoritative DH miss (caller must have confirmed absence —
+  /// an injected fault on a live blob must never land here).
+  void negative_put(const std::string& key);
+
+  /// Churn-driven invalidation: erase every entry (positive and negative,
+  /// all epochs, all classes) for `post_id`. Returns entries erased.
+  std::size_t invalidate_post(std::string_view post_id);
+
+  /// Drop everything (wiping values).
+  void clear();
+
+  /// Point-in-time per-instance counters (global sp_cache_* series aggregate
+  /// across instances; tests cross-check deltas against driven load).
+  struct Stats {
+    std::array<std::uint64_t, kKindCount> hits{};
+    std::array<std::uint64_t, kKindCount> misses{};
+    std::array<std::uint64_t, kKindCount> insertions{};
+    std::uint64_t admission_rejected = 0;
+    std::uint64_t evictions = 0;           ///< positive LRU evictions
+    std::uint64_t negative_evictions = 0;  ///< negative FIFO evictions
+    std::uint64_t invalidated = 0;         ///< entries erased by invalidate_post
+    std::size_t entries = 0;
+    std::size_t negative_entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t negative_size() const;
+  /// Hard bounds actually enforced (per-shard rounding included): size()
+  /// never exceeds capacity(), negative_size() never negative_capacity().
+  [[nodiscard]] std::size_t capacity() const { return per_shard_ * shards_.size(); }
+  [[nodiscard]] std::size_t negative_capacity() const {
+    return negative_per_shard_ * shards_.size();
+  }
+
+ private:
+  struct Entry;
+  using Map = std::map<std::string, Entry>;
+  struct Entry {
+    Bytes value;
+    std::list<Map::iterator>::iterator lru;  ///< position in Shard::lru
+    std::uint8_t kind = 0;
+  };
+
+  /// One lock stripe. The admission sketch is two-hash min-count with
+  /// saturating 4-bit-style counters, halved periodically so popularity ages.
+  struct Shard {
+    static constexpr std::size_t kSketchSlots = 1024;
+    mutable sp::Mutex mu;
+    Map entries SP_GUARDED_BY(mu);
+    std::list<Map::iterator> lru SP_GUARDED_BY(mu);  ///< front = most recent
+    std::map<std::string, std::list<std::string>::iterator> negative SP_GUARDED_BY(mu);
+    std::list<std::string> negative_fifo SP_GUARDED_BY(mu);  ///< front = oldest
+    std::array<std::uint8_t, kSketchSlots> sketch SP_GUARDED_BY(mu){};
+    std::uint32_t sketch_ops SP_GUARDED_BY(mu) = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+  static void touch_sketch(Shard& shard) SP_REQUIRES(shard.mu);
+  static void sketch_count(Shard& shard, std::string_view key, bool increment,
+                           std::uint8_t* out_estimate) SP_REQUIRES(shard.mu);
+  /// Erase one positive entry (wiping its value) with `it` valid in `shard`.
+  void erase_entry(Shard& shard, Map::iterator it) SP_REQUIRES(shard.mu);
+
+  CacheConfig config_;
+  std::size_t per_shard_ = 0;
+  std::size_t negative_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Per-instance stats (relaxed: counters, not synchronization).
+  mutable std::array<std::atomic<std::uint64_t>, kKindCount> hits_{};
+  mutable std::array<std::atomic<std::uint64_t>, kKindCount> misses_{};
+  std::array<std::atomic<std::uint64_t>, kKindCount> insertions_{};
+  std::atomic<std::uint64_t> admission_rejected_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> negative_evictions_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::size_t> negative_entries_{0};
+};
+
+}  // namespace sp::core

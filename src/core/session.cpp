@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/thread_pool.hpp"
+#include "crypto/secret.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +47,7 @@ struct SessionMetrics {
   obs::Counter& shares_c1;
   obs::Counter& shares_c2;
   obs::Counter& refreshes;
+  obs::Counter& revokes;
   obs::Counter& access_retried;
   obs::Counter& access_denied;
   obs::Counter& access_granted;
@@ -99,6 +101,8 @@ struct SessionMetrics {
                     {{"scheme", "c1"}}),
         reg.counter("sp_share_requests_total", "", {{"scheme", "c2"}}),
         reg.counter("sp_refresh_requests_total", "Puzzle refresh operations"),
+        reg.counter("sp_revoke_requests_total",
+                    "Puzzle revocations (object pulled from the DH pending refresh)"),
         reg.counter("sp_access_retried_total",
                     "Extra challenge draws taken by access_with_retries"),
         reg.counter("sp_access_denied_total",
@@ -154,6 +158,7 @@ Session::Session(SessionConfig config)
       network_(config_.link, crypto::Drbg(config_.seed + "-net")),
       injector_(config_.faults ? std::make_unique<net::FaultInjector>(*config_.faults) : nullptr),
       rng_(config_.seed + "-session"),
+      cache_(config_.cache ? std::make_unique<ServeCache>(*config_.cache) : nullptr),
       verify_queue_(std::make_unique<VerifyQueue>()) {}
 
 crypto::Drbg Session::fork_rng(const std::string& label) const {
@@ -353,9 +358,43 @@ ShareReceipt Session::refresh(osn::UserId sharer, const std::string& post_id,
     stored.url = url;
   }
 
-  // Retire the stale ciphertext so leaked keys can't fetch it later.
-  dh_.remove(old_url);
+  // Retire the stale ciphertext so leaked keys can't fetch it later (a
+  // revoked post already pulled it). The epoch bump plus the cache sweep
+  // guarantee no memoized state from the old puzzle generation can satisfy
+  // a request against the new one — and clear any DH-miss markers, so a
+  // revoked post resumes serving the moment its refresh lands.
+  if (stored.revoked) {
+    stored.revoked = false;
+  } else {
+    dh_.remove(old_url);
+  }
+  ++stored.epoch;
+  if (cache_) cache_->invalidate_post(post_id);
   return ShareReceipt{post_id, ledger, object.size()};
+}
+
+void Session::revoke(osn::UserId sharer, const std::string& post_id) {
+  // Same single-writer discipline as refresh: exclusive for the whole body,
+  // so a concurrent access either completed against the live object or
+  // starts against the revoked state — never a cached half of each.
+  const sp::UniqueLock registry_lock(puzzles_mutex_);
+  auto it = puzzles_.find(post_id);
+  if (it == puzzles_.end()) throw std::out_of_range("Session::revoke: unknown post " + post_id);
+  StoredPuzzle& stored = it->second;
+  if (stored.sharer != sharer) {
+    throw std::logic_error("Session::revoke: only the original sharer can revoke");
+  }
+  if (stored.revoked) return;  // idempotent
+  SessionMetrics::get().revokes.inc();
+  dh_.remove(stored.url);
+  stored.revoked = true;
+  ++stored.epoch;
+  if (cache_) cache_->invalidate_post(post_id);
+}
+
+std::uint64_t Session::puzzle_epoch(const std::string& post_id) const {
+  const sp::SharedLock registry_lock(puzzles_mutex_);
+  return puzzles_.at(post_id).epoch;
 }
 
 AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
@@ -393,8 +432,8 @@ AccessResult Session::access(osn::UserId receiver, const std::string& post_id,
   if (root.recording()) root.add_attr("scheme", is_c1 ? "c1" : "c2");
   CpuTimer wall;
   const AccessResult result =
-      is_c1 ? access_c1(stored, knowledge, ledger, op_rng, faults, trace)
-            : access_c2(stored, knowledge, ledger, op_rng, faults, trace);
+      is_c1 ? access_c1(post_id, stored, knowledge, ledger, op_rng, faults, trace)
+            : access_c2(post_id, stored, knowledge, ledger, op_rng, faults, trace);
   // End-to-end outcome series. `success()` (granted AND object recovered) is
   // the label, so a granted-but-tampered request counts as denied here.
   // Exemplar-carrying observe: when this request is traced, the latency
@@ -553,9 +592,9 @@ std::vector<AccessResult> Session::access_parallel(std::span<const AccessRequest
   return results;
 }
 
-AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng,
-                                net::FaultStream* faults,
+AccessResult Session::access_c1(const std::string& post_id, const StoredPuzzle& stored,
+                                const Knowledge& knowledge, net::CostLedger& ledger,
+                                crypto::Drbg& rng, net::FaultStream* faults,
                                 const obs::TraceContext& trace) const {
   const Puzzle& puzzle = *stored.puzzle;
   SessionMetrics& metrics = SessionMetrics::get();
@@ -642,12 +681,28 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- receiver local: verify the sharer's signature on (URL, k, K_Z) ----
+  // Memoized per (post, epoch, URL): the signature covers immutable puzzle
+  // state, so a hot post pays the two scalar multiplications once. Cache
+  // consulted only after the grant — it can shortcut work, never decisions.
   obs::Span sig_tspan(trace, "c1.sig_verify");
-  obs::TraceSpan sig_span(metrics.c1_sig_verify, ledger);
-  Puzzle verified_view = puzzle;  // fields as received from the SP
-  verified_view.url = reply.url;
-  const bool sig_ok = c1_->verify_puzzle_signature(verified_view);
-  sig_span.stop();
+  bool sig_ok = false;
+  bool sig_cached = false;
+  const std::string sig_entry_id =
+      cache_ ? ServeCache::key(post_id, stored.epoch, ServeCache::Kind::kC1Sig, reply.url)
+             : std::string();
+  if (cache_) {
+    sig_cached = cache_->get(sig_entry_id, ServeCache::Kind::kC1Sig).has_value();
+    sig_ok = sig_cached;  // only verified signatures are ever inserted
+    sig_tspan.add_attr("cache", sig_cached ? "hit" : "miss");
+  }
+  if (!sig_cached) {
+    obs::TraceSpan sig_span(metrics.c1_sig_verify, ledger);
+    Puzzle verified_view = puzzle;  // fields as received from the SP
+    verified_view.url = reply.url;
+    sig_ok = c1_->verify_puzzle_signature(verified_view);
+    sig_span.stop();
+    if (sig_ok && cache_) cache_->put(sig_entry_id, ServeCache::Kind::kC1Sig, Bytes{1});
+  }
   sig_tspan.end();
   if (!sig_ok) {
     result.granted = false;
@@ -656,6 +711,17 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   }
 
   // -- network: download O_{K_O} from the DH -----------------------------
+  // A negative-cache hit means this URL was authoritatively absent (e.g.
+  // the post is revoked): fail fast without paying the round trip. The
+  // refreshing re-upload bumps the epoch, making the marker unreachable.
+  const std::string neg_entry_id =
+      cache_ ? ServeCache::key(post_id, stored.epoch, ServeCache::Kind::kDhNegative, reply.url)
+             : std::string();
+  if (cache_ && cache_->negative_hit(neg_entry_id)) {
+    result.error = net::ServeError::kDhMiss;
+    result.cost = ledger;
+    return result;
+  }
   Bytes encrypted;
   {
     obs::Span fetch_tspan(trace, "dh.fetch");
@@ -664,6 +730,11 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
     if (!fetched.ok()) {
       // Injected miss, or a malicious SP pointing at a missing object.
       fetch_tspan.set_status(obs::SpanStatus::kTransientFault);
+      // Only an authoritative absence is worth remembering: an injected
+      // fault on a live blob must not poison the negative cache.
+      if (cache_ && fetched.error() == net::ServeError::kDhMiss && !dh_.exists(reply.url)) {
+        cache_->negative_put(neg_entry_id);
+      }
       result.error = fetched.error();
       result.cost = ledger;
       return result;
@@ -693,9 +764,9 @@ AccessResult Session::access_c1(const StoredPuzzle& stored, const Knowledge& kno
   return result;
 }
 
-AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& knowledge,
-                                net::CostLedger& ledger, crypto::Drbg& rng,
-                                net::FaultStream* faults,
+AccessResult Session::access_c2(const std::string& post_id, const StoredPuzzle& stored,
+                                const Knowledge& knowledge, net::CostLedger& ledger,
+                                crypto::Drbg& rng, net::FaultStream* faults,
                                 const obs::TraceContext& trace) const {
   const auto& files = *stored.c2_files;
   SessionMetrics& metrics = SessionMetrics::get();
@@ -766,6 +837,14 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
   // -- network: three file downloads (CT' from DH; PK, MK from SP), again
   //    one cold cURL connection each in the paper's Qt receiver -----------
   constexpr int kColdCurlRoundTrips = 3;
+  const std::string neg_entry_id =
+      cache_ ? ServeCache::key(post_id, stored.epoch, ServeCache::Kind::kDhNegative, reply.url)
+             : std::string();
+  if (cache_ && cache_->negative_hit(neg_entry_id)) {
+    result.error = net::ServeError::kDhMiss;  // known-absent: skip the round trip
+    result.cost = ledger;
+    return result;
+  }
   Bytes ciphertext;
   {
     obs::Span fetch_tspan(trace, "dh.fetch");
@@ -773,6 +852,9 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
     net::Expected<Bytes> fetched = dh_.try_fetch(reply.url, faults);
     if (!fetched.ok()) {
       fetch_tspan.set_status(obs::SpanStatus::kTransientFault);
+      if (cache_ && fetched.error() == net::ServeError::kDhMiss && !dh_.exists(reply.url)) {
+        cache_->negative_put(neg_entry_id);
+      }
       result.error = fetched.error();
       result.cost = ledger;
       return result;
@@ -783,6 +865,31 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
     result.error = err;
     result.cost = ledger;
     return result;
+  }
+
+  // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
+  // Memoized per (post, epoch): a successful access proved (via the GCM
+  // tag) which DEM key seals this epoch's envelope, so hot posts skip the
+  // pairing-heavy phases AND the PK/MK downloads. The lookup happens only
+  // after Verify granted and the ciphertext arrived: a hit can never widen
+  // access, only cut the cost of access already granted.
+  const std::string dem_entry_id =
+      cache_ ? ServeCache::key(post_id, stored.epoch, ServeCache::Kind::kC2Dem) : std::string();
+  if (cache_) {
+    if (std::optional<Bytes> dem = cache_->get(dem_entry_id, ServeCache::Kind::kC2Dem)) {
+      obs::Span access_tspan(trace, "c2.access");
+      access_tspan.add_attr("cache", "hit");
+      obs::TraceSpan access_span(metrics.c2_access, ledger);
+      result.object = Construction2::open_sealed(ciphertext, *dem);
+      crypto::secure_wipe(*dem);
+      access_span.stop();
+      access_tspan.end();
+      // A delivered-copy corruption fails the envelope tag exactly like the
+      // full path; the cached key itself stays valid for this epoch.
+      if (!result.object) result.error = net::ServeError::kCorruptedBlob;
+      result.cost = ledger;
+      return result;
+    }
   }
   if (const auto err = exchange(files.public_key.size(), kColdCurlRoundTrips)) {
     result.error = err;
@@ -795,20 +902,29 @@ AccessResult Session::access_c2(const StoredPuzzle& stored, const Knowledge& kno
     return result;
   }
 
-  // -- receiver local: Reconstruct + KeyGen + Decrypt --------------------
   obs::Span access_tspan(trace, "c2.access");
+  if (cache_) access_tspan.add_attr("cache", "miss");
   obs::TraceSpan access_span(metrics.c2_access, ledger);
+  Bytes dem_key;
   try {
     // Batched CP-ABE leaf pairings run through the queue; parent them here.
     const obs::ContextGuard access_guard(access_tspan.context());
     result.object = c2_->access(ciphertext, files.public_key, files.master_key, knowledge, rng,
-                                verify_queue_->runner());
+                                verify_queue_->runner(), cache_ ? &dem_key : nullptr);
   } catch (const std::exception&) {
     result.object = std::nullopt;  // delivered bytes too mangled to parse
   }
   access_span.stop();
   access_tspan.end();
   if (!result.object) result.error = net::ServeError::kCorruptedBlob;
+  // Fill only from a fully successful access: access() hands the key out
+  // only after the envelope authenticated, so a fault mid-pipeline (partial
+  // delivery, corrupted blob, wrong key) can never cache a poisoned entry.
+  if (cache_ && result.object && !dem_key.empty()) {
+    cache_->put(dem_entry_id, ServeCache::Kind::kC2Dem, std::move(dem_key));
+  } else {
+    crypto::secure_wipe(dem_key);
+  }
   result.cost = ledger;
   return result;
 }

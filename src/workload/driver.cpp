@@ -1,0 +1,131 @@
+#include "workload/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sp::workload {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+SimPoint simulate_open_loop(std::span<const double> interarrival_unit,
+                            std::span<const double> cpu_ms, std::span<const double> overlap_ms,
+                            std::size_t servers, double arrival_rps) {
+  if (cpu_ms.size() != interarrival_unit.size() || overlap_ms.size() != cpu_ms.size()) {
+    throw std::invalid_argument("simulate_open_loop: span lengths differ");
+  }
+  if (servers == 0 || arrival_rps <= 0) {
+    throw std::invalid_argument("simulate_open_loop: need servers >= 1, rate > 0");
+  }
+  SimPoint point;
+  point.offered_rps = arrival_rps;
+  if (cpu_ms.empty()) return point;
+
+  // FIFO over c virtual workers: a min-heap of worker-free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at(
+      std::greater<>(), std::vector<double>(servers, 0.0));
+  const double gap_scale = 1000.0 / arrival_rps;  // unit-mean gaps -> ms
+  std::vector<double> latencies;
+  latencies.reserve(cpu_ms.size());
+  double arrival = 0;
+  double first_arrival = 0;
+  double last_completion = 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < cpu_ms.size(); ++i) {
+    arrival += interarrival_unit[i] * gap_scale;
+    if (i == 0) first_arrival = arrival;
+    const double start = std::max(arrival, free_at.top());
+    free_at.pop();
+    const double done = start + cpu_ms[i];
+    free_at.push(done);
+    const double latency = (done - arrival) + overlap_ms[i];
+    latencies.push_back(latency);
+    last_completion = std::max(last_completion, done + overlap_ms[i]);
+    sum += latency;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  point.completed = latencies.size();
+  point.p50_ms = percentile_sorted(latencies, 0.50);
+  point.p95_ms = percentile_sorted(latencies, 0.95);
+  point.p99_ms = percentile_sorted(latencies, 0.99);
+  point.max_ms = latencies.back();
+  point.mean_ms = sum / static_cast<double>(latencies.size());
+  point.makespan_ms = std::max(1e-9, last_completion - first_arrival);
+  point.achieved_rps = 1000.0 * static_cast<double>(latencies.size()) / point.makespan_ms;
+  return point;
+}
+
+CapacityResult find_capacity(std::span<const double> interarrival_unit,
+                             std::span<const double> cpu_ms, std::span<const double> overlap_ms,
+                             std::size_t servers, double slo_p99_ms) {
+  CapacityResult result;
+  if (cpu_ms.empty()) return result;
+  const double mean_cpu =
+      std::accumulate(cpu_ms.begin(), cpu_ms.end(), 0.0) / static_cast<double>(cpu_ms.size());
+  // M/G/c stability: past λ = c/E[S] the steady-state queue diverges no
+  // matter what a finite trace's p99 managed to show — a rate there can
+  // never "pass". Without this cap a short trace under a generous SLO lets
+  // the ladder run away (the backlog needed to break the SLO simply doesn't
+  // fit in the trace).
+  const double stable_limit =
+      1000.0 * static_cast<double>(servers) / std::max(mean_cpu, 1e-6);
+  const auto passes = [&](double rate, const SimPoint& probe) {
+    return probe.p99_ms <= slo_p99_ms && rate < stable_limit;
+  };
+
+  // ~5% CPU utilization: low enough that the p99 there is the no-queueing
+  // baseline. If even that misses the SLO, capacity is honestly zero.
+  double rate = 0.05 * stable_limit;
+  SimPoint probe = simulate_open_loop(interarrival_unit, cpu_ms, overlap_ms, servers, rate);
+  result.ladder.push_back(probe);
+  if (!passes(rate, probe)) return result;
+
+  double last_pass = rate;
+  SimPoint last_pass_point = probe;
+  double first_fail = 0;
+  for (int step = 0; step < 64; ++step) {
+    rate *= 1.3;
+    probe = simulate_open_loop(interarrival_unit, cpu_ms, overlap_ms, servers, rate);
+    result.ladder.push_back(probe);
+    if (passes(rate, probe)) {
+      last_pass = rate;
+      last_pass_point = probe;
+    } else {
+      first_fail = rate;
+      break;
+    }
+  }
+  if (first_fail > 0) {
+    // Bisect the knee: 6 rounds narrow the pass/fail bracket to ~0.5%.
+    double lo = last_pass;
+    double hi = first_fail;
+    for (int round = 0; round < 6; ++round) {
+      const double mid = 0.5 * (lo + hi);
+      probe = simulate_open_loop(interarrival_unit, cpu_ms, overlap_ms, servers, mid);
+      result.ladder.push_back(probe);
+      if (passes(mid, probe)) {
+        lo = mid;
+        last_pass = mid;
+        last_pass_point = probe;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  result.capacity_rps = last_pass;
+  result.at_capacity = last_pass_point;
+  return result;
+}
+
+}  // namespace sp::workload

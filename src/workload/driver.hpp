@@ -1,0 +1,59 @@
+// Open-loop capacity driver (ROADMAP item 4): a deterministic virtual-time
+// M/G/c queueing simulation over measured per-request costs.
+//
+// Why virtual time: realizing modeled waits as wall-clock sleeps (the PR 3-5
+// benches) makes throughput numbers hostage to scheduler jitter and CI
+// oversleep — exactly the flaky-timing failure mode a capacity curve cannot
+// afford. Here the bench executes the trace ONCE on real hardware to collect
+// each request's modeled (cpu_ms, overlap_ms) decomposition, then replays
+// those costs through a seeded arrival process at any offered rate entirely
+// in virtual time: `servers` CPU workers serialize cpu_ms FIFO; overlap_ms
+// (modeled network, which holds a socket but not a core) adds to latency
+// without occupying a worker. Same inputs, same curve — on a laptop or a
+// loaded CI runner.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sp::workload {
+
+/// One simulated rate point.
+struct SimPoint {
+  double offered_rps = 0;
+  std::size_t completed = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double mean_ms = 0;
+  double achieved_rps = 0;  ///< completions per second of virtual makespan
+  double makespan_ms = 0;   ///< last completion - first arrival (virtual)
+};
+
+/// Simulate the trace at `arrival_rps`. `interarrival_unit[i]` is the Exp(1)
+/// gap before request i (scaled by the rate); `cpu_ms[i]` holds a worker;
+/// `overlap_ms[i]` adds to request i's latency only. All spans must be the
+/// same length. Deterministic.
+[[nodiscard]] SimPoint simulate_open_loop(std::span<const double> interarrival_unit,
+                                          std::span<const double> cpu_ms,
+                                          std::span<const double> overlap_ms,
+                                          std::size_t servers, double arrival_rps);
+
+/// Capacity = the largest offered rate that is sustainable (below the M/G/c
+/// stability limit `servers / mean(cpu_ms)`) AND whose simulated p99 stays
+/// within the SLO: geometric ladder up from ~5% utilization until a probe
+/// fails, then a short bisection refines the knee.
+struct CapacityResult {
+  double capacity_rps = 0;  ///< 0 = even the lightest load misses the SLO
+  SimPoint at_capacity;     ///< the passing point defining capacity_rps
+  std::vector<SimPoint> ladder;  ///< every rate probed, in probe order
+};
+
+[[nodiscard]] CapacityResult find_capacity(std::span<const double> interarrival_unit,
+                                           std::span<const double> cpu_ms,
+                                           std::span<const double> overlap_ms,
+                                           std::size_t servers, double slo_p99_ms);
+
+}  // namespace sp::workload

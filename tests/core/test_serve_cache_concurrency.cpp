@@ -1,0 +1,162 @@
+// Serving-cache hammers (PR 10): 8 threads on the sharded LRU directly, then
+// through the full Session serving path with refresh/revoke churn racing the
+// readers. The *ConcurrencyHammer name puts this suite in the TSan CI job's
+// filter; invariants here are the ones a data race would break first —
+// get-or-compute linearizability (a hit is always a value some put stored
+// whole), hard capacity bounds, and no stale grant after churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serve_cache.hpp"
+#include "core/session.hpp"
+#include "support/fixtures.hpp"
+
+namespace sp::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::to_bytes;
+using Kind = ServeCache::Kind;
+
+constexpr std::size_t kThreads = 8;
+
+/// The deterministic "compute" a cache slot memoizes: value bytes are a pure
+/// function of the key, so a torn or cross-wired entry is detectable.
+Bytes value_for(const std::string& key) {
+  Bytes v(32);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint8_t>(h >> ((i % 8) * 8));
+  }
+  return v;
+}
+
+TEST(ServeCacheConcurrencyHammer, GetOrComputeIsLinearizable) {
+  ServeCache cache(CacheConfig{.capacity = 64, .shards = 4});
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong, t] {
+      for (int i = 0; i < 4000; ++i) {
+        // 32 keys over a 64-slot cache: heavy same-key contention, no
+        // eviction pressure — every hit must be the key's own value, whole.
+        const std::string key = ServeCache::key(
+            "post-" + std::to_string((i * 7 + static_cast<int>(t)) % 32), 0, Kind::kC2Dem);
+        if (const auto hit = cache.get(key, Kind::kC2Dem)) {
+          if (*hit != value_for(key)) wrong.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.put(key, Kind::kC2Dem, value_for(key));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto s = cache.stats();
+  EXPECT_GT(s.hits[static_cast<std::size_t>(Kind::kC2Dem)], 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ServeCacheConcurrencyHammer, BoundsHoldUnderMixedChurn) {
+  // Writers flood a small cache, a churn thread invalidates whole posts and
+  // periodically clears, negative writers race FIFO evictions — the hard
+  // bounds must hold at every sampled instant, not just at the end.
+  ServeCache cache(CacheConfig{.capacity = 32, .negative_capacity = 16, .shards = 4});
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> over_bound{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads - 2; ++t) {
+    threads.emplace_back([&cache, &stop, &over_bound, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed) && i < 6000; ++i) {
+        const std::string post = "post-" + std::to_string((i + static_cast<int>(t) * 11) % 40);
+        cache.put(ServeCache::key(post, i % 3, Kind::kC1Sig, "u"), Kind::kC1Sig, Bytes{1});
+        cache.negative_put(ServeCache::key(post, i % 3, Kind::kDhNegative, "u"));
+        if (cache.size() > cache.capacity() ||
+            cache.negative_size() > cache.negative_capacity()) {
+          over_bound.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&cache, &stop] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed) && i < 2000; ++i) {
+      cache.invalidate_post("post-" + std::to_string(i % 40));
+      if (i % 500 == 499) cache.clear();
+    }
+  });
+  threads.emplace_back([&cache, &stop] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed) && i < 6000; ++i) {
+      (void)cache.get(ServeCache::key("post-" + std::to_string(i % 40), i % 3, Kind::kC1Sig, "u"),
+                      Kind::kC1Sig);
+      (void)cache.negative_hit(
+          ServeCache::key("post-" + std::to_string(i % 40), i % 3, Kind::kDhNegative, "u"));
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  stop.store(true);
+  EXPECT_EQ(over_bound.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_LE(cache.negative_size(), cache.negative_capacity());
+}
+
+class CachedFanoutHammer : public testsupport::FanoutSessionFixture {
+ protected:
+  CachedFanoutHammer()
+      : FanoutSessionFixture(
+            [] {
+              SessionConfig cfg = testsupport::toy_config("serve-cache-hammer");
+              cfg.cache = CacheConfig{};
+              return cfg;
+            }(),
+            kThreads) {}
+};
+
+TEST_F(CachedFanoutHammer, CachedServingPathUnderRefreshChurn) {
+  // 8 receiver threads hammer the C1/C2 posts through the full serving path
+  // while the sharer refreshes both posts; every grant must return the
+  // current object bytes — a stale cached grant would surface here as the
+  // wrong plaintext.
+  const Knowledge knows = Knowledge::full(ctx_);
+  std::atomic<std::size_t> wrong_bytes{0};
+  std::atomic<std::size_t> granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &knows, &wrong_bytes, &granted, t] {
+      for (int i = 0; i < 10; ++i) {
+        const bool is_c1 = i % 2 == 0;
+        const auto result = session_.access_with_retries(
+            receivers_[t], is_c1 ? c1_post_ : c2_post_, knows, net::pc_profile(), 4);
+        if (result.success()) {
+          granted.fetch_add(1, std::memory_order_relaxed);
+          // Refresh re-uploads the same plaintext, so any epoch's grant
+          // decrypts to the same bytes — unless a stale DEM key/URL leaked
+          // across epochs, which corrupts or fails the open.
+          if (*result.object != (is_c1 ? to_bytes("c1 object") : to_bytes("c2 object"))) {
+            wrong_bytes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // The churn writer: refresh serializes on the registry's exclusive lock
+  // against the in-flight reads above.
+  for (int round = 0; round < 6; ++round) {
+    session_.refresh(sharer_, c1_post_, to_bytes("c1 object"), ctx_, net::pc_profile());
+    session_.refresh(sharer_, c2_post_, to_bytes("c2 object"), ctx_, net::pc_profile());
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrong_bytes.load(), 0u);
+  EXPECT_GT(granted.load(), 0u);
+  ASSERT_NE(session_.serve_cache(), nullptr);
+  EXPECT_LE(session_.serve_cache()->size(), session_.serve_cache()->capacity());
+}
+
+}  // namespace
+}  // namespace sp::core
